@@ -1,0 +1,47 @@
+# Development targets for the lrgp repository. Everything is stdlib-only;
+# the only prerequisite is a Go toolchain (>= 1.22).
+
+GO ?= go
+
+.PHONY: all build vet test race cover bench fuzz experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+# One benchmark per paper table/figure (plus micro-benchmarks).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzzing pass over the solver and utility-spec fuzz targets.
+fuzz:
+	$(GO) test -fuzz=FuzzBisectDecreasing -fuzztime=10s ./internal/solver/
+	$(GO) test -fuzz=FuzzSpecJSON -fuzztime=10s ./internal/utility/
+
+# Regenerate every table and figure (see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/lrgp-experiments -run all -sa-steps 2000000 -chart=false
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/tradedata
+	$(GO) run ./examples/latestprice
+	$(GO) run ./examples/autoscale
+	$(GO) run ./examples/overlaycity
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunFullMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-steps", "5000", "-temps", "100"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"mode          full", "best utility", "accepted"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunRatesGreedyMode(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-steps", "2000", "-temps", "5,50", "-mode", "rates-greedy"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "mode          rates-greedy") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-mode", "quantum"}, &out); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if err := run([]string{"-temps", "abc"}, &out); err == nil {
+		t.Error("bad temps accepted")
+	}
+	if err := run([]string{"-temps", ","}, &out); err == nil {
+		t.Error("empty temps accepted")
+	}
+	if err := run([]string{"-workload", "zzz"}, &out); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestParseTemps(t *testing.T) {
+	got, err := parseTemps(" 5, 10 ,100 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 5 || got[2] != 100 {
+		t.Errorf("parseTemps = %v", got)
+	}
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunMemoryTransport(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-rounds", "30", "-publish-seconds", "0.2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"optimizing 6f-3n-log(1+r) over memory transport",
+		"enacted allocation into broker",
+		"flow        rate",
+		"class       admitted/attached",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+	// The deliberate 2x over-publish on flow 0 must show throttling.
+	if !strings.Contains(s, "flow0") {
+		t.Errorf("missing per-flow stats:\n%s", s)
+	}
+}
+
+func TestRunTCPTransport(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-transport", "tcp", "-rounds", "10", "-publish-seconds", "0.1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "over tcp transport") {
+		t.Errorf("output:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownTransport(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-transport", "carrier-pigeon"}, &out); err == nil {
+		t.Error("unknown transport accepted")
+	}
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunDefault(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	// The instrumented broker costs 2 work units per consumer (filter +
+	// delivery), so the fitted G must print as 2.0000.
+	if !strings.Contains(s, "+ 2.0000 * consumers") {
+		t.Errorf("fitted G missing:\n%s", s)
+	}
+	if !strings.Contains(s, "R^2 = 1.000000") {
+		t.Errorf("R^2 missing:\n%s", s)
+	}
+	if !strings.Contains(s, "F (flow-node cost per unit rate)") {
+		t.Errorf("coefficients missing:\n%s", s)
+	}
+}
+
+func TestRunUnitCostScaling(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-unit-cost", "9.5", "-points", "50,100", "-msgs", "20"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	// G = 2 work units * 9.5 = 19, the paper's constant.
+	if !strings.Contains(out.String(), "= 19.0000") {
+		t.Errorf("scaled G missing:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-points", "5"}, &out); err == nil {
+		t.Error("single point accepted")
+	}
+	if err := run([]string{"-points", "a,b"}, &out); err == nil {
+		t.Error("bad points accepted")
+	}
+	if err := run([]string{"-points", "10,-5"}, &out); err == nil {
+		t.Error("negative point accepted")
+	}
+	if err := run([]string{"-unit-cost", "0", "-points", "5,10"}, &out); err == nil {
+		t.Error("zero unit cost accepted")
+	}
+}

@@ -1,0 +1,202 @@
+// Command lrgp-experiments regenerates the paper's tables and figures
+// (and this repository's extension experiments); see EXPERIMENTS.md for
+// the recorded outputs.
+//
+// Usage:
+//
+//	lrgp-experiments [-run all|fig1|fig2|fig3|fig4|table2|table3|async|ablation|links|prune|overhead|gamma|multirate]
+//	                 [-iters 250] [-sa-steps 1000000] [-seed 1] [-csv] [-chart]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "lrgp-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("lrgp-experiments", flag.ContinueOnError)
+	var (
+		runSpec  = fs.String("run", "all", "experiments to run (comma-separated): all, fig1, fig2, fig3, fig4, table2, table3, async, ablation, links, prune, overhead, gamma, multirate")
+		iters    = fs.Int("iters", 250, "LRGP iterations per run")
+		saSteps  = fs.Int("sa-steps", 1_000_000, "full-state annealing steps per start temperature")
+		seed     = fs.Int64("seed", 1, "random seed for stochastic baselines")
+		csv      = fs.Bool("csv", false, "emit figures/tables as CSV instead of text")
+		markdown = fs.Bool("markdown", false, "emit tables as GitHub-flavored Markdown")
+		chart    = fs.Bool("chart", true, "draw ASCII charts for figures")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := experiments.Options{Iterations: *iters, SASteps: *saSteps, Seed: *seed}
+
+	want := make(map[string]bool)
+	for _, name := range strings.Split(*runSpec, ",") {
+		want[strings.TrimSpace(name)] = true
+	}
+	all := want["all"]
+	selected := func(name string) bool { return all || want[name] }
+
+	emitFig := func(fig *trace.SeriesSet) {
+		if *csv {
+			fig.RenderCSV(out)
+		} else if *chart {
+			fig.RenderASCII(out, 100, 20)
+		} else {
+			fmt.Fprintf(out, "== %s == (%d iterations; use -chart or -csv for data)\n", fig.Title, len(fig.X))
+		}
+		fmt.Fprintln(out)
+	}
+	emitTable := func(t *trace.Table) {
+		switch {
+		case *csv:
+			fmt.Fprintf(out, "# %s\n", t.Title)
+			t.RenderCSV(out)
+		case *markdown:
+			t.RenderMarkdown(out)
+		default:
+			t.Render(out)
+		}
+		fmt.Fprintln(out)
+	}
+
+	if selected("fig1") {
+		fig, err := experiments.Figure1Damping(opts)
+		if err != nil {
+			return err
+		}
+		emitFig(fig)
+	}
+	if selected("fig2") {
+		fig, err := experiments.Figure2AdaptiveGamma(opts)
+		if err != nil {
+			return err
+		}
+		emitFig(fig)
+	}
+	if selected("fig3") {
+		res, err := experiments.Figure3Recovery(opts)
+		if err != nil {
+			return err
+		}
+		emitFig(res.Fig)
+		for _, name := range res.Fig.Names {
+			fmt.Fprintf(out, "  recovery (%s): %d iterations to re-enter the 0.5%% band\n", name, res.RecoveryIters[name])
+		}
+		fmt.Fprintln(out)
+	}
+	if selected("fig4") {
+		fig, err := experiments.Figure4PowerUtility(opts)
+		if err != nil {
+			return err
+		}
+		emitFig(fig)
+	}
+	if selected("table2") {
+		rows, err := experiments.Table2Scalability(opts)
+		if err != nil {
+			return err
+		}
+		emitTable(experiments.RenderComparison(
+			"Table 2: LRGP vs simulated annealing as the system grows", rows))
+	}
+	if selected("table3") {
+		rows, err := experiments.Table3UtilityShapes(opts)
+		if err != nil {
+			return err
+		}
+		emitTable(experiments.RenderComparison(
+			"Table 3: convergence and quality as the utility shape varies", rows))
+	}
+	if selected("async") {
+		res, err := experiments.AsyncExperiment(opts, time.Minute)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "== X1: asynchronous LRGP (Section 3.5, message-passing agents) ==")
+		fmt.Fprintf(out, "  sync utility    %.0f\n", res.SyncUtility)
+		fmt.Fprintf(out, "  async utility   %.0f (rel err %.4f)\n", res.AsyncUtility, res.RelativeError)
+		fmt.Fprintf(out, "  converged       %v after %v (%d samples)\n\n",
+			res.Converged, res.ConvergedAfter.Round(time.Millisecond), res.Samples)
+	}
+	if selected("ablation") {
+		rows, err := experiments.AblationAdmission(opts)
+		if err != nil {
+			return err
+		}
+		emitTable(experiments.RenderAblation(rows))
+	}
+	if selected("multirate") {
+		rows, err := experiments.MultirateExperiment(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "== X7: multirate dissemination (the paper's deferred future work) ==")
+		for _, r := range rows {
+			fmt.Fprintf(out, "  %-16s single-rate %9.0f | multirate %9.0f | gain %+6.2f%%",
+				r.Workload, r.SingleUtility, r.MultiUtility, r.GainPct)
+			if r.FastDelivery > 0 {
+				fmt.Fprintf(out, " | delivery split %g vs %.1f msg/s", r.FastDelivery, r.SlowDelivery)
+			}
+			fmt.Fprintln(out)
+		}
+		fmt.Fprintln(out)
+	}
+	if selected("gamma") {
+		rows, err := experiments.GammaControllerAblation(opts)
+		if err != nil {
+			return err
+		}
+		emitTable(experiments.RenderGammaAblation(rows))
+	}
+	if selected("prune") {
+		res, err := experiments.PruneExperiment(opts)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "== X4: two-stage path pruning (Section 2.4, stage 2) ==")
+		fmt.Fprintf(out, "  stage 1 utility   %.0f (%d classes)\n",
+			res.Stage1.Result.Utility, len(res.Stage1.Problem.Classes))
+		fmt.Fprintf(out, "  pruned            %d classes, %d node visits, %d link visits\n",
+			res.PrunedClasses, res.PrunedNodeVisits, res.PrunedLinkVisits)
+		fmt.Fprintf(out, "  stage 2 utility   %.0f (gain %+.0f, %+.2f%%)\n\n",
+			res.Stage2.Result.Utility, res.UtilityGain, 100*res.UtilityGain/res.Stage1.Result.Utility)
+	}
+	if selected("overhead") {
+		rows, err := experiments.OverheadExperiment(opts, 0)
+		if err != nil {
+			return err
+		}
+		emitTable(experiments.RenderOverhead(rows))
+	}
+	if selected("links") {
+		res, err := experiments.LinkBottleneckExperiment(opts, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "== X3: link bottlenecks (Equations 4 and 13 exercised) ==")
+		fmt.Fprintf(out, "  link caps         %.0f%% of rateMax per flow\n", res.Utilization*100)
+		fmt.Fprintf(out, "  utility           %.0f (unconstrained baseline %.0f)\n", res.Utility, res.BaselineNoLink)
+		fmt.Fprintf(out, "  max link usage    %.1f%% of capacity\n", res.MaxLinkUsage*100)
+		if res.Converged {
+			fmt.Fprintf(out, "  converged at      %d\n\n", res.ConvergedAt)
+		} else {
+			fmt.Fprintf(out, "  converged         no\n\n")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSelectedExperiments(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{
+		"-run", "fig1,ablation", "-iters", "60", "-sa-steps", "2000", "-chart=false",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Figure 1") {
+		t.Errorf("missing fig1:\n%s", s)
+	}
+	if !strings.Contains(s, "X2: admission-control ablation") {
+		t.Errorf("missing ablation:\n%s", s)
+	}
+	if strings.Contains(s, "Table 2") {
+		t.Errorf("unselected experiment ran:\n%s", s)
+	}
+}
+
+func TestRunCSVOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "fig4", "-iters", "40", "-csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "iteration,adaptive gamma") {
+		t.Errorf("missing CSV header:\n%s", out.String())
+	}
+}
+
+func TestRunChartOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "fig2", "-iters", "40"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "adaptive gamma") {
+		t.Errorf("missing legend:\n%s", out.String())
+	}
+}
+
+func TestRunMarkdownOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "ablation", "-iters", "40", "-markdown"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "**X2: admission-control ablation (base workload)**") {
+		t.Errorf("missing markdown title:\n%s", s)
+	}
+	if !strings.Contains(s, "|---|") {
+		t.Errorf("missing markdown separator:\n%s", s)
+	}
+}
+
+func TestRunUnknownFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-bogus"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunBaseWorkload(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-iters", "100"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"workload  6f-3n-log(1+r)", "utility", "feasible  yes"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunWithAllocAndChart(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-workload", "tiny", "-iters", "50", "-alloc", "-chart", "-csv"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "== allocation ==") {
+		t.Errorf("missing allocation table:\n%s", s)
+	}
+	if !strings.Contains(s, "iteration,utility") {
+		t.Errorf("missing CSV header:\n%s", s)
+	}
+}
+
+func TestRunFixedGamma(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-adaptive=false", "-gamma", "0.05", "-iters", "60"}, &out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMultirateFlag(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-multirate", "-iters", "100", "-alloc"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "(multirate;") || !strings.Contains(s, "== multirate allocation ==") {
+		t.Errorf("multirate output malformed:\n%s", s)
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-iters", "60", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Workload  string  `json:"workload"`
+		Utility   float64 `json:"utility"`
+		Converged bool    `json:"converged"`
+		Snapshot  struct {
+			NodeUsage []float64 `json:"NodeUsage"`
+		} `json:"snapshot"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &got); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if got.Workload != "6f-3n-log(1+r)" || got.Utility <= 0 {
+		t.Errorf("decoded %+v", got)
+	}
+	if len(got.Snapshot.NodeUsage) != 3 {
+		t.Errorf("snapshot nodes = %d", len(got.Snapshot.NodeUsage))
+	}
+}
+
+func TestRunVerboseDiagnostics(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-iters", "60", "-verbose"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "== node diagnostics ==") {
+		t.Errorf("missing diagnostics:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-workload", "nope"}, &out); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := run([]string{"-shape", "r0.9"}, &out); err == nil {
+		t.Error("unknown shape accepted")
+	}
+	if err := run([]string{"-definitely-not-a-flag"}, &out); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

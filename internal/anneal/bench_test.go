@@ -1,0 +1,31 @@
+package anneal
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// BenchmarkFullStateSteps measures raw full-state annealing throughput on
+// the base workload (steps/op is fixed; the metric of interest is time).
+func BenchmarkFullStateSteps(b *testing.B) {
+	p := workload.Base()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(p, Config{MaxSteps: 100_000, StartTemp: 100, Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRatesGreedySteps measures the rates-only + greedy-population
+// variant, whose per-step cost includes a full greedy pass.
+func BenchmarkRatesGreedySteps(b *testing.B) {
+	p := workload.Base()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveRatesGreedy(p, Config{MaxSteps: 10_000, StartTemp: 100, Seed: int64(i + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+package anneal
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+func TestSolveRatesGreedyValidates(t *testing.T) {
+	p := workload.Base()
+	p.Nodes[0].Capacity = -1
+	if _, err := SolveRatesGreedy(p, Config{MaxSteps: 10}); err == nil {
+		t.Error("accepted invalid problem")
+	}
+}
+
+func TestSolveRatesGreedyFeasibleAndConsistent(t *testing.T) {
+	p := workload.Base()
+	res, err := SolveRatesGreedy(p, Config{MaxSteps: 20_000, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := model.NewIndex(p)
+	if err := model.CheckFeasible(p, ix, res.Best, 1e-9); err != nil {
+		t.Errorf("best allocation infeasible: %v", err)
+	}
+	if got := model.TotalUtility(p, res.Best); math.Abs(got-res.BestUtility) > 1e-6*res.BestUtility {
+		t.Errorf("utility mismatch: %g vs %g", res.BestUtility, got)
+	}
+}
+
+func TestSolveRatesGreedyNearLRGP(t *testing.T) {
+	// The rates-only + greedy-population search explores the same
+	// solution family as LRGP and must land within 1% of it on the base
+	// workload even with a small budget.
+	p := workload.Base()
+	e, err := core.NewEngine(p, core.Config{Adaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lrgp := e.Solve(400).Utility
+
+	res, err := SolveRatesGreedy(p, Config{MaxSteps: 50_000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(res.BestUtility-lrgp) / lrgp; rel > 0.01 {
+		t.Errorf("rates-greedy SA = %.0f vs LRGP %.0f (rel %.4f)", res.BestUtility, lrgp, rel)
+	}
+}
+
+func TestSolveRatesGreedyDominatesFullStateAtPaperTemps(t *testing.T) {
+	// At the paper's temperatures the full-state walk freezes in the
+	// high-rate trap; the rates-greedy variant does not.
+	p := workload.Base()
+	full, err := Solve(p, Config{MaxSteps: 100_000, StartTemp: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, err := SolveRatesGreedy(p, Config{MaxSteps: 20_000, StartTemp: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rg.BestUtility <= full.BestUtility {
+		t.Errorf("rates-greedy %.0f not above full-state %.0f", rg.BestUtility, full.BestUtility)
+	}
+}
+
+func TestSolveRatesGreedyRespectsLinks(t *testing.T) {
+	p := workload.WithLinkBottlenecks(workload.Base(), 0.4)
+	res, err := SolveRatesGreedy(p, Config{MaxSteps: 20_000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := model.NewIndex(p)
+	for _, l := range p.Links {
+		if used := model.LinkUsage(p, ix, res.Best, l.ID); used > l.Capacity+1e-9 {
+			t.Errorf("link %d overloaded: %g > %g", l.ID, used, l.Capacity)
+		}
+	}
+}
+
+func TestSolveRatesGreedyInfeasibleLinkStart(t *testing.T) {
+	p := workload.WithLinkBottlenecks(workload.Base(), 0.001) // capacity 1 < rmin 10
+	if _, err := SolveRatesGreedy(p, Config{MaxSteps: 10}); !errors.Is(err, ErrInfeasibleStart) {
+		t.Errorf("error = %v, want ErrInfeasibleStart", err)
+	}
+}
+
+func TestSolveRatesGreedyBestOf(t *testing.T) {
+	p := workload.Base()
+	res, temp, err := SolveRatesGreedyBestOf(p, Config{MaxSteps: 5_000, Seed: 2}, []float64{5, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if temp != 5 && temp != 100 {
+		t.Errorf("winning temp = %g", temp)
+	}
+	if res.BestUtility <= 0 {
+		t.Errorf("best utility = %g", res.BestUtility)
+	}
+}
+
+func TestGreedyPopulationsMatchesEngine(t *testing.T) {
+	// Running GreedyPopulations on an engine's converged rates must give
+	// the engine's own populations (the engine's step is the same code).
+	p := workload.Base()
+	e, err := core.NewEngine(p, core.Config{Adaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Solve(400)
+	consumers, util := core.GreedyPopulations(p, e.Index(), res.Allocation.Rates)
+	for j := range consumers {
+		if consumers[j] != res.Allocation.Consumers[j] {
+			t.Errorf("class %d: standalone %d vs engine %d", j, consumers[j], res.Allocation.Consumers[j])
+		}
+	}
+	if math.Abs(util-res.Utility) > 1e-9*res.Utility {
+		t.Errorf("utility %g vs engine %g", util, res.Utility)
+	}
+}

@@ -1,0 +1,67 @@
+package broker
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// BenchmarkPublishFanout measures delivery cost per published message with
+// 1000 admitted filtered consumers on one class.
+func BenchmarkPublishFanout(b *testing.B) {
+	clock := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	br, err := New(brokerProblem(), WithClock(func() time.Time {
+		clock = clock.Add(time.Second) // keep the token bucket full
+		return clock
+	}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink := 0
+	for i := 0; i < 1000; i++ {
+		if _, err := br.AttachConsumer(0, AttrFilter{Attr: "price", Op: CmpGT, Value: 50},
+			func(Message) { sink++ }); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := br.ApplyAllocation(model.Allocation{Rates: []float64{1000}, Consumers: []int{1000, 0}}); err != nil {
+		b.Fatal(err)
+	}
+	attrs := map[string]float64{"price": 80}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := br.Publish(0, attrs, "x"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkApplyAllocation measures enactment cost on the base workload
+// with its full consumer population attached.
+func BenchmarkApplyAllocation(b *testing.B) {
+	p := workload.Base()
+	br, err := New(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for j, c := range p.Classes {
+		for k := 0; k < c.MaxConsumers; k++ {
+			if _, err := br.AttachConsumer(model.ClassID(j), nil, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	alloc := model.NewAllocation(p)
+	for j, c := range p.Classes {
+		alloc.Consumers[j] = c.MaxConsumers / 2
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alloc.Consumers[0] = i % 400 // force real churn
+		if err := br.ApplyAllocation(alloc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

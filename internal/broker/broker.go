@@ -1,0 +1,373 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+)
+
+// ConsumerID identifies an attached consumer.
+type ConsumerID int
+
+// Handler receives messages delivered to one consumer. Handlers run
+// synchronously inside Publish and must return quickly.
+type Handler func(m Message)
+
+// Errors returned by broker operations.
+var (
+	ErrUnknownClass    = errors.New("broker: unknown class")
+	ErrUnknownFlow     = errors.New("broker: unknown flow")
+	ErrUnknownConsumer = errors.New("broker: unknown consumer")
+	ErrThrottled       = errors.New("broker: rate limit exceeded")
+)
+
+// consumer is one attached consumer.
+type consumer struct {
+	id       ConsumerID
+	class    model.ClassID
+	filter   Filter
+	handler  Handler
+	admitted bool
+
+	delivered uint64
+	filtered  uint64
+}
+
+// classState tracks per-class enactment and accounting.
+type classState struct {
+	transform Transform
+	// attach-ordered consumers; admission follows this order (earliest
+	// attached admitted first, latest unadmitted first on shrink).
+	consumers []*consumer
+	admitted  int
+	// thinner, when set, caps this class's delivery rate below the
+	// flow's source rate (multirate thinning: elastic consumers receive
+	// a subsampled stream, per the latest-price scenario's "reducing
+	// the frequency of updates").
+	thinner *TokenBucket
+	thinned uint64
+}
+
+// FlowStats reports one flow's publish-side accounting.
+type FlowStats struct {
+	Published uint64
+	Throttled uint64
+	Rate      float64
+}
+
+// ClassStats reports one class's delivery-side accounting.
+type ClassStats struct {
+	Attached  int
+	Admitted  int
+	Delivered uint64
+	Filtered  uint64
+	// Thinned counts messages dropped for this class by its delivery-
+	// rate cap (see SetClassRateCap).
+	Thinned uint64
+}
+
+// Broker hosts the flows and consumer classes of one problem instance and
+// enacts optimizer allocations. All methods are safe for concurrent use.
+type Broker struct {
+	p  *model.Problem
+	ix *model.Index
+
+	now func() time.Time
+
+	mu           sync.Mutex
+	buckets      []*TokenBucket
+	seq          []uint64
+	pub          []FlowStats
+	classes      []classState
+	nextID       ConsumerID
+	byID         map[ConsumerID]*consumer
+	nextProducer int
+	producers    map[ProducerID]*Producer
+	// work counts abstract work units: one per message routed, one per
+	// class transform applied, one per filter evaluation, one per
+	// delivery. The calibrate package regresses these counters to
+	// recover the paper's F/G resource-model coefficients from observed
+	// broker behavior.
+	work uint64
+}
+
+// Option configures a Broker.
+type Option interface {
+	apply(*Broker)
+}
+
+type clockOption struct {
+	now func() time.Time
+}
+
+func (o clockOption) apply(b *Broker) { b.now = o.now }
+
+// WithClock injects a time source (deterministic tests).
+func WithClock(now func() time.Time) Option {
+	return clockOption{now: now}
+}
+
+type transformOption struct {
+	class model.ClassID
+	tr    Transform
+}
+
+func (o transformOption) apply(b *Broker) {
+	b.classes[o.class].transform = o.tr
+}
+
+// WithTransform installs a per-class message transformation.
+func WithTransform(class model.ClassID, tr Transform) Option {
+	return transformOption{class: class, tr: tr}
+}
+
+// New builds a broker for the problem. Flows start rate-limited at their
+// minimum rates with no admitted consumers; call ApplyAllocation to enact
+// an optimizer result.
+func New(p *model.Problem, opts ...Option) (*Broker, error) {
+	if err := model.Validate(p); err != nil {
+		return nil, fmt.Errorf("broker: %w", err)
+	}
+	b := &Broker{
+		p:         p,
+		ix:        model.NewIndex(p),
+		now:       time.Now,
+		buckets:   make([]*TokenBucket, len(p.Flows)),
+		seq:       make([]uint64, len(p.Flows)),
+		pub:       make([]FlowStats, len(p.Flows)),
+		classes:   make([]classState, len(p.Classes)),
+		byID:      make(map[ConsumerID]*consumer),
+		producers: make(map[ProducerID]*Producer),
+	}
+	for j := range b.classes {
+		b.classes[j].transform = Identity{}
+	}
+	for _, opt := range opts {
+		opt.apply(b)
+	}
+	start := b.now()
+	for i, f := range p.Flows {
+		b.buckets[i] = NewTokenBucket(f.RateMin, 0, start)
+		b.pub[i].Rate = f.RateMin
+	}
+	return b, nil
+}
+
+// Problem returns the broker's problem definition.
+func (b *Broker) Problem() *model.Problem { return b.p }
+
+// AttachConsumer registers a consumer in a class. The consumer receives
+// messages only once admission control admits it (ApplyAllocation). A nil
+// filter matches everything.
+func (b *Broker) AttachConsumer(class model.ClassID, filter Filter, h Handler) (ConsumerID, error) {
+	if class < 0 || int(class) >= len(b.p.Classes) {
+		return 0, fmt.Errorf("%w: %d", ErrUnknownClass, class)
+	}
+	if filter == nil {
+		filter = MatchAll{}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	id := b.nextID
+	b.nextID++
+	c := &consumer{id: id, class: class, filter: filter, handler: h}
+	b.classes[class].consumers = append(b.classes[class].consumers, c)
+	b.byID[id] = c
+	return id, nil
+}
+
+// DetachConsumer removes a consumer entirely.
+func (b *Broker) DetachConsumer(id ConsumerID) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c, ok := b.byID[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownConsumer, id)
+	}
+	delete(b.byID, id)
+	cs := &b.classes[c.class]
+	for k, cc := range cs.consumers {
+		if cc.id == id {
+			cs.consumers = append(cs.consumers[:k], cs.consumers[k+1:]...)
+			break
+		}
+	}
+	if c.admitted {
+		cs.admitted--
+	}
+	return nil
+}
+
+// Admitted reports whether a consumer is currently admitted.
+func (b *Broker) Admitted(id ConsumerID) (bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	c, ok := b.byID[id]
+	if !ok {
+		return false, fmt.Errorf("%w: %d", ErrUnknownConsumer, id)
+	}
+	return c.admitted, nil
+}
+
+// ApplyAllocation enacts an optimizer allocation: flow token buckets are
+// re-rated and each class admits (or unadmits) consumers to match n_j.
+// Admission is capped by the number of attached consumers; earlier
+// attachments are admitted first and the latest admitted are unadmitted
+// first when shrinking.
+func (b *Broker) ApplyAllocation(a model.Allocation) error {
+	if len(a.Rates) != len(b.p.Flows) || len(a.Consumers) != len(b.p.Classes) {
+		return fmt.Errorf("broker: allocation shape %d/%d, want %d/%d",
+			len(a.Rates), len(a.Consumers), len(b.p.Flows), len(b.p.Classes))
+	}
+	now := b.now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, r := range a.Rates {
+		b.buckets[i].SetRate(r, now)
+		b.pub[i].Rate = r
+	}
+	for j, want := range a.Consumers {
+		cs := &b.classes[j]
+		if want > len(cs.consumers) {
+			want = len(cs.consumers)
+		}
+		if want < 0 {
+			want = 0
+		}
+		for k, c := range cs.consumers {
+			c.admitted = k < want
+		}
+		cs.admitted = want
+	}
+	return nil
+}
+
+// Publish injects a message into a flow. It applies the source rate limit,
+// then delivers to every admitted consumer of every class of the flow,
+// applying the class transform and each consumer's filter. It returns
+// ErrThrottled when the rate limiter rejects the message.
+func (b *Broker) Publish(flow model.FlowID, attrs map[string]float64, body string) error {
+	if flow < 0 || int(flow) >= len(b.p.Flows) {
+		return fmt.Errorf("%w: %d", ErrUnknownFlow, flow)
+	}
+	now := b.now()
+
+	b.mu.Lock()
+	if !b.buckets[flow].Allow(now) {
+		b.pub[flow].Throttled++
+		b.mu.Unlock()
+		return ErrThrottled
+	}
+	b.seq[flow]++
+	b.pub[flow].Published++
+	b.work++ // per-message routing work
+	msg := Message{
+		Flow:  flow,
+		Seq:   b.seq[flow],
+		Time:  now,
+		Attrs: attrs,
+		Body:  body,
+	}
+
+	// Snapshot delivery targets under the lock, deliver outside it.
+	type delivery struct {
+		c   *consumer
+		msg Message
+	}
+	var work []delivery
+	for _, cid := range b.ix.ClassesByFlow(flow) {
+		cs := &b.classes[cid]
+		if cs.admitted == 0 {
+			continue
+		}
+		if cs.thinner != nil && !cs.thinner.Allow(now) {
+			cs.thinned++
+			continue
+		}
+		classMsg := msg
+		classMsg.Attrs = cloneAttrs(attrs)
+		classMsg = cs.transform.Apply(classMsg)
+		b.work++ // per-class transform work
+		for _, c := range cs.consumers {
+			if !c.admitted {
+				continue
+			}
+			b.work++ // per-consumer filter evaluation
+			if c.filter.Match(classMsg) {
+				c.delivered++
+				b.work++ // per-consumer delivery
+				work = append(work, delivery{c: c, msg: classMsg})
+			} else {
+				c.filtered++
+			}
+		}
+	}
+	b.mu.Unlock()
+
+	for _, d := range work {
+		if d.c.handler != nil {
+			d.c.handler(d.msg)
+		}
+	}
+	return nil
+}
+
+// WorkUnits returns the cumulative abstract work counter (see the field
+// comment); deterministic across runs for identical publish sequences.
+func (b *Broker) WorkUnits() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.work
+}
+
+// FlowStats returns the publish-side counters of a flow.
+func (b *Broker) FlowStats(flow model.FlowID) (FlowStats, error) {
+	if flow < 0 || int(flow) >= len(b.p.Flows) {
+		return FlowStats{}, fmt.Errorf("%w: %d", ErrUnknownFlow, flow)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.pub[flow], nil
+}
+
+// ClassStats returns the delivery-side counters of a class.
+func (b *Broker) ClassStats(class model.ClassID) (ClassStats, error) {
+	if class < 0 || int(class) >= len(b.p.Classes) {
+		return ClassStats{}, fmt.Errorf("%w: %d", ErrUnknownClass, class)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	cs := &b.classes[class]
+	out := ClassStats{Attached: len(cs.consumers), Admitted: cs.admitted, Thinned: cs.thinned}
+	for _, c := range cs.consumers {
+		out.Delivered += c.delivered
+		out.Filtered += c.filtered
+	}
+	return out, nil
+}
+
+// SetClassRateCap installs (or, with rate <= 0, removes) a delivery-rate
+// cap for one class, thinning its stream below the flow's source rate.
+// This is the enactment hook for multirate extensions: different classes
+// of the same flow can receive different effective rates.
+func (b *Broker) SetClassRateCap(class model.ClassID, rate float64) error {
+	if class < 0 || int(class) >= len(b.p.Classes) {
+		return fmt.Errorf("%w: %d", ErrUnknownClass, class)
+	}
+	now := b.now()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if rate <= 0 {
+		b.classes[class].thinner = nil
+		return nil
+	}
+	if t := b.classes[class].thinner; t != nil {
+		t.SetRate(rate, now)
+		return nil
+	}
+	b.classes[class].thinner = NewTokenBucket(rate, 0, now)
+	return nil
+}

@@ -1,0 +1,223 @@
+// Package broker is a Gryphon-style event broker substrate: producers
+// publish messages on flows, messages are transformed and filtered on
+// their way to consumers organized in classes, and the broker *enacts* the
+// decisions of the LRGP optimizer — source rate limits via token buckets
+// and consumer admission control per class (Section 1.1's trade-data and
+// latest-price scenarios).
+//
+// The broker plays the role the Gryphon system plays in the paper: the
+// infrastructure whose resource model (per-message and per-message-
+// per-consumer costs) the optimization problem describes.
+package broker
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/model"
+)
+
+// Message is one event published on a flow.
+type Message struct {
+	// Flow is the flow the message belongs to.
+	Flow model.FlowID
+	// Seq is the per-flow sequence number assigned by the broker.
+	Seq uint64
+	// Time is the publish timestamp.
+	Time time.Time
+	// Attrs carries numeric content attributes (e.g. "price": 82.5) that
+	// filters evaluate.
+	Attrs map[string]float64
+	// Body is the opaque payload.
+	Body string
+}
+
+// cloneAttrs copies the attribute map so per-class transformations cannot
+// corrupt the producer's message.
+func cloneAttrs(attrs map[string]float64) map[string]float64 {
+	if attrs == nil {
+		return nil
+	}
+	out := make(map[string]float64, len(attrs))
+	for k, v := range attrs {
+		out[k] = v
+	}
+	return out
+}
+
+// Filter decides whether a consumer receives a message (content-based
+// subscription, as in the latest-price scenario).
+type Filter interface {
+	// Match reports whether the message passes.
+	Match(m Message) bool
+	// String describes the filter.
+	String() string
+}
+
+// MatchAll passes every message.
+type MatchAll struct{}
+
+var _ Filter = MatchAll{}
+
+// Match implements Filter.
+func (MatchAll) Match(Message) bool { return true }
+
+// String implements Filter.
+func (MatchAll) String() string { return "true" }
+
+// Cmp is the comparison operator of an attribute filter.
+type Cmp int
+
+// Comparison operators.
+const (
+	CmpLT Cmp = iota + 1
+	CmpLE
+	CmpGT
+	CmpGE
+	CmpEQ
+)
+
+// String implements fmt.Stringer.
+func (c Cmp) String() string {
+	switch c {
+	case CmpLT:
+		return "<"
+	case CmpLE:
+		return "<="
+	case CmpGT:
+		return ">"
+	case CmpGE:
+		return ">="
+	case CmpEQ:
+		return "=="
+	default:
+		return "?"
+	}
+}
+
+// AttrFilter passes messages whose attribute satisfies a comparison, e.g.
+// price > 80. Messages lacking the attribute fail.
+type AttrFilter struct {
+	Attr  string
+	Op    Cmp
+	Value float64
+}
+
+var _ Filter = AttrFilter{}
+
+// Match implements Filter.
+func (f AttrFilter) Match(m Message) bool {
+	v, ok := m.Attrs[f.Attr]
+	if !ok {
+		return false
+	}
+	switch f.Op {
+	case CmpLT:
+		return v < f.Value
+	case CmpLE:
+		return v <= f.Value
+	case CmpGT:
+		return v > f.Value
+	case CmpGE:
+		return v >= f.Value
+	case CmpEQ:
+		return v == f.Value
+	default:
+		return false
+	}
+}
+
+// String implements Filter.
+func (f AttrFilter) String() string {
+	return fmt.Sprintf("%s %s %g", f.Attr, f.Op, f.Value)
+}
+
+// And passes messages matching every child filter.
+type And []Filter
+
+var _ Filter = And{}
+
+// Match implements Filter.
+func (a And) Match(m Message) bool {
+	for _, f := range a {
+		if !f.Match(m) {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements Filter.
+func (a And) String() string {
+	s := "("
+	for i, f := range a {
+		if i > 0 {
+			s += " && "
+		}
+		s += f.String()
+	}
+	return s + ")"
+}
+
+// Transform alters a message on its way to a consumer class, modeling the
+// paper's in-flight transformations (field removal for public consumers,
+// format changes, enrichment).
+type Transform interface {
+	// Apply returns the transformed message. Implementations must not
+	// mutate the input's maps; the broker hands each class a copy.
+	Apply(m Message) Message
+	// String describes the transform.
+	String() string
+}
+
+// Identity returns messages unchanged.
+type Identity struct{}
+
+var _ Transform = Identity{}
+
+// Apply implements Transform.
+func (Identity) Apply(m Message) Message { return m }
+
+// String implements Transform.
+func (Identity) String() string { return "identity" }
+
+// DropAttrs removes the named attributes (the trade-data scenario: fields
+// available only to gold consumers are removed for public consumers).
+type DropAttrs []string
+
+var _ Transform = DropAttrs{}
+
+// Apply implements Transform.
+func (d DropAttrs) Apply(m Message) Message {
+	for _, k := range d {
+		delete(m.Attrs, k)
+	}
+	return m
+}
+
+// String implements Transform.
+func (d DropAttrs) String() string {
+	return fmt.Sprintf("drop%v", []string(d))
+}
+
+// Annotate adds or overwrites an attribute (enrichment).
+type Annotate struct {
+	Attr  string
+	Value float64
+}
+
+var _ Transform = Annotate{}
+
+// Apply implements Transform.
+func (a Annotate) Apply(m Message) Message {
+	if m.Attrs == nil {
+		m.Attrs = make(map[string]float64, 1)
+	}
+	m.Attrs[a.Attr] = a.Value
+	return m
+}
+
+// String implements Transform.
+func (a Annotate) String() string {
+	return fmt.Sprintf("set %s=%g", a.Attr, a.Value)
+}

@@ -1,0 +1,113 @@
+package broker
+
+import "testing"
+
+func msgWith(attrs map[string]float64) Message {
+	return Message{Attrs: attrs}
+}
+
+func TestAttrFilter(t *testing.T) {
+	tests := []struct {
+		name   string
+		filter AttrFilter
+		attrs  map[string]float64
+		want   bool
+	}{
+		{"gt pass", AttrFilter{"price", CmpGT, 80}, map[string]float64{"price": 81}, true},
+		{"gt fail", AttrFilter{"price", CmpGT, 80}, map[string]float64{"price": 80}, false},
+		{"ge pass", AttrFilter{"price", CmpGE, 80}, map[string]float64{"price": 80}, true},
+		{"lt pass", AttrFilter{"price", CmpLT, 80}, map[string]float64{"price": 79}, true},
+		{"lt fail", AttrFilter{"price", CmpLT, 80}, map[string]float64{"price": 80}, false},
+		{"le pass", AttrFilter{"price", CmpLE, 80}, map[string]float64{"price": 80}, true},
+		{"eq pass", AttrFilter{"price", CmpEQ, 80}, map[string]float64{"price": 80}, true},
+		{"eq fail", AttrFilter{"price", CmpEQ, 80}, map[string]float64{"price": 80.1}, false},
+		{"missing attr", AttrFilter{"price", CmpGT, 0}, map[string]float64{"qty": 5}, false},
+		{"nil attrs", AttrFilter{"price", CmpGT, 0}, nil, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.filter.Match(msgWith(tt.attrs)); got != tt.want {
+				t.Errorf("Match = %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBadOperator(t *testing.T) {
+	f := AttrFilter{"x", Cmp(0), 1}
+	if f.Match(msgWith(map[string]float64{"x": 1})) {
+		t.Error("invalid operator matched")
+	}
+	if got := Cmp(0).String(); got != "?" {
+		t.Errorf("Cmp(0) = %q", got)
+	}
+}
+
+func TestMatchAll(t *testing.T) {
+	if !(MatchAll{}).Match(Message{}) {
+		t.Error("MatchAll rejected a message")
+	}
+	if (MatchAll{}).String() != "true" {
+		t.Error("MatchAll string")
+	}
+}
+
+func TestAnd(t *testing.T) {
+	f := And{
+		AttrFilter{"price", CmpGT, 80},
+		AttrFilter{"qty", CmpLE, 10},
+	}
+	if !f.Match(msgWith(map[string]float64{"price": 90, "qty": 10})) {
+		t.Error("conjunction rejected a passing message")
+	}
+	if f.Match(msgWith(map[string]float64{"price": 90, "qty": 11})) {
+		t.Error("conjunction passed a failing message")
+	}
+	if got := f.String(); got != "(price > 80 && qty <= 10)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestDropAttrs(t *testing.T) {
+	tr := DropAttrs{"secret", "internal"}
+	m := tr.Apply(msgWith(map[string]float64{"secret": 1, "price": 2}))
+	if _, ok := m.Attrs["secret"]; ok {
+		t.Error("secret not dropped")
+	}
+	if m.Attrs["price"] != 2 {
+		t.Error("price lost")
+	}
+}
+
+func TestAnnotate(t *testing.T) {
+	m := (Annotate{Attr: "tier", Value: 2}).Apply(Message{})
+	if m.Attrs["tier"] != 2 {
+		t.Errorf("attrs = %v", m.Attrs)
+	}
+	m = (Annotate{Attr: "price", Value: 9}).Apply(msgWith(map[string]float64{"price": 1}))
+	if m.Attrs["price"] != 9 {
+		t.Error("overwrite failed")
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	in := msgWith(map[string]float64{"a": 1})
+	if got := (Identity{}).Apply(in); got.Attrs["a"] != 1 {
+		t.Error("identity changed the message")
+	}
+}
+
+func TestFilterStrings(t *testing.T) {
+	if got := (AttrFilter{"price", CmpGE, 80}).String(); got != "price >= 80" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (DropAttrs{"x"}).String(); got != "drop[x]" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Annotate{"t", 1}).String(); got != "set t=1" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Identity{}).String(); got != "identity" {
+		t.Errorf("String = %q", got)
+	}
+}

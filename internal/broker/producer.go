@@ -1,0 +1,92 @@
+package broker
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/model"
+)
+
+// ProducerID identifies a registered producer.
+type ProducerID int
+
+// Producer is a registered publishing endpoint for one flow. All
+// producers of a flow share the flow's source node and rate limit (the
+// paper: "a producer publishes messages on one flow, and all the
+// producers publishing to a particular flow connect to the same node");
+// per-producer accounting is kept separately.
+type Producer struct {
+	id     ProducerID
+	flow   model.FlowID
+	broker *Broker
+
+	mu        sync.Mutex
+	published uint64
+	throttled uint64
+	detached  bool
+}
+
+// ProducerStats reports one producer's accounting.
+type ProducerStats struct {
+	Published uint64
+	Throttled uint64
+}
+
+// RegisterProducer attaches a producer to a flow.
+func (b *Broker) RegisterProducer(flow model.FlowID) (*Producer, error) {
+	if flow < 0 || int(flow) >= len(b.p.Flows) {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownFlow, flow)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	pr := &Producer{
+		id:     ProducerID(b.nextProducer),
+		flow:   flow,
+		broker: b,
+	}
+	b.nextProducer++
+	b.producers[pr.id] = pr
+	return pr, nil
+}
+
+// Flow returns the producer's flow.
+func (p *Producer) Flow() model.FlowID { return p.flow }
+
+// Publish injects one message through the producer, applying the flow's
+// shared rate limit and recording per-producer stats.
+func (p *Producer) Publish(attrs map[string]float64, body string) error {
+	p.mu.Lock()
+	if p.detached {
+		p.mu.Unlock()
+		return fmt.Errorf("broker: producer %d detached", p.id)
+	}
+	p.mu.Unlock()
+
+	err := p.broker.Publish(p.flow, attrs, body)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch {
+	case err == nil:
+		p.published++
+	case err == ErrThrottled:
+		p.throttled++
+	}
+	return err
+}
+
+// Stats returns the producer's counters.
+func (p *Producer) Stats() ProducerStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return ProducerStats{Published: p.published, Throttled: p.throttled}
+}
+
+// Detach deregisters the producer; further Publish calls fail.
+func (p *Producer) Detach() {
+	p.mu.Lock()
+	p.detached = true
+	p.mu.Unlock()
+	p.broker.mu.Lock()
+	delete(p.broker.producers, p.id)
+	p.broker.mu.Unlock()
+}

@@ -1,0 +1,91 @@
+package broker
+
+import (
+	"sync"
+	"time"
+)
+
+// TokenBucket enforces a message rate at a flow's source node. Tokens
+// accrue continuously at Rate per second up to Burst; each admitted
+// message consumes one token. The clock is injected for deterministic
+// tests.
+type TokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// NewTokenBucket returns a bucket producing rate tokens/second with the
+// given burst capacity, initially full. burst <= 0 defaults to one
+// second's worth of tokens (minimum 1).
+func NewTokenBucket(rate, burst float64, now time.Time) *TokenBucket {
+	if burst <= 0 {
+		burst = rate
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	return &TokenBucket{rate: rate, burst: burst, tokens: burst, last: now}
+}
+
+// SetRate changes the refill rate (enacting a new optimizer allocation).
+// Accumulated tokens are first settled at the old rate. The burst stays as
+// configured unless it was rate-coupled (burst == old rate), in which case
+// it follows the new rate.
+func (tb *TokenBucket) SetRate(rate float64, now time.Time) {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	tb.refill(now)
+	if tb.burst == tb.rate {
+		tb.burst = rate
+		if tb.burst < 1 {
+			tb.burst = 1
+		}
+		if tb.tokens > tb.burst {
+			tb.tokens = tb.burst
+		}
+	}
+	tb.rate = rate
+}
+
+// Rate returns the current refill rate.
+func (tb *TokenBucket) Rate() float64 {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	return tb.rate
+}
+
+// Allow consumes one token if available and reports whether the message
+// may pass.
+func (tb *TokenBucket) Allow(now time.Time) bool {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	tb.refill(now)
+	if tb.tokens < 1 {
+		return false
+	}
+	tb.tokens--
+	return true
+}
+
+// Tokens returns the currently available tokens (after settling).
+func (tb *TokenBucket) Tokens(now time.Time) float64 {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	tb.refill(now)
+	return tb.tokens
+}
+
+func (tb *TokenBucket) refill(now time.Time) {
+	if !now.After(tb.last) {
+		return
+	}
+	dt := now.Sub(tb.last).Seconds()
+	tb.last = now
+	tb.tokens += dt * tb.rate
+	if tb.tokens > tb.burst {
+		tb.tokens = tb.burst
+	}
+}

@@ -1,0 +1,268 @@
+// Package bruteforce finds (near-)exact optima of tiny LRGP problem
+// instances by exhaustive search, for use as a ground truth in tests.
+//
+// Rates are discretized onto a per-flow grid; for every rate vector the
+// optimal integer populations are found exactly by per-node enumeration
+// (given fixed rates, the node constraints decouple, so each node is an
+// independent small integer packing problem). The result is optimal over
+// the rate grid, and converges to the true optimum as the grid refines.
+//
+// The search cost is O(gridSteps^|F| * prod n_j^max per node); keep
+// populations and flow counts tiny (see workload.Tiny).
+package bruteforce
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/model"
+)
+
+// DefaultGridSteps is the default number of rate samples per flow.
+const DefaultGridSteps = 20
+
+// ErrTooLarge guards against accidentally exhaustive-searching a real
+// workload.
+var ErrTooLarge = errors.New("bruteforce: instance too large")
+
+// searchBudget caps the approximate number of states visited.
+const searchBudget = 200_000_000
+
+// Result is the best allocation found by Solve.
+type Result struct {
+	// Utility is the total utility of Best.
+	Utility float64
+	// Best is the argmax allocation.
+	Best model.Allocation
+	// RateGrids holds the evaluated rate values per flow, for reporting.
+	RateGrids [][]float64
+}
+
+// Solve exhaustively searches the problem on a gridSteps-point rate grid
+// per flow (gridSteps <= 1 selects DefaultGridSteps). It returns
+// ErrTooLarge if the estimated state count exceeds an internal budget.
+func Solve(p *model.Problem, gridSteps int) (Result, error) {
+	if err := model.Validate(p); err != nil {
+		return Result{}, fmt.Errorf("bruteforce: %w", err)
+	}
+	if gridSteps <= 1 {
+		gridSteps = DefaultGridSteps
+	}
+	ix := model.NewIndex(p)
+
+	// Estimate the cost: rate combinations x per-node packing states
+	// (nodes decouple for fixed rates, so packing work sums across nodes
+	// rather than multiplying).
+	cost := 1.0
+	for range p.Flows {
+		cost *= float64(gridSteps)
+	}
+	packing := 0.0
+	for b := range p.Nodes {
+		nodeStates := 1.0
+		for _, cid := range ix.ClassesByNode(model.NodeID(b)) {
+			nodeStates *= float64(p.Classes[cid].MaxConsumers + 1)
+		}
+		packing += nodeStates
+	}
+	if packing < 1 {
+		packing = 1
+	}
+	if cost*packing > searchBudget {
+		return Result{}, fmt.Errorf("%w: ~%.3g states", ErrTooLarge, cost*packing)
+	}
+
+	grids := make([][]float64, len(p.Flows))
+	for i, f := range p.Flows {
+		grids[i] = rateGrid(f.RateMin, f.RateMax, gridSteps)
+	}
+
+	best := Result{Utility: -1, RateGrids: grids}
+	rates := make([]float64, len(p.Flows))
+	var walk func(i int)
+	walk = func(i int) {
+		if i == len(p.Flows) {
+			util, consumers, ok := bestPopulations(p, ix, rates)
+			if ok && util > best.Utility {
+				best.Utility = util
+				best.Best = model.Allocation{
+					Rates:     append([]float64(nil), rates...),
+					Consumers: consumers,
+				}
+			}
+			return
+		}
+		for _, r := range grids[i] {
+			rates[i] = r
+			walk(i + 1)
+		}
+	}
+	walk(0)
+
+	if best.Utility < 0 {
+		// Every rate vector violated a constraint before populations were
+		// even considered (link or flow-cost overload everywhere).
+		return Result{}, fmt.Errorf("%w: no feasible rate vector on the grid", model.ErrInfeasible)
+	}
+
+	// Continuous local refinement: coordinate-wise golden-section search
+	// around the best grid point, so the returned optimum does not
+	// suffer the grid's discretization error (which is substantial for
+	// log utilities at low rates).
+	refine(p, ix, &best)
+	return best, nil
+}
+
+// refineSweeps and refineEvals bound the local refinement work.
+const (
+	refineSweeps = 4
+	refineEvals  = 48
+)
+
+// refine improves the best allocation by golden-section line search on
+// each flow's rate in turn, holding the others fixed and re-solving the
+// exact population packing at every probe.
+func refine(p *model.Problem, ix *model.Index, best *Result) {
+	rates := append([]float64(nil), best.Best.Rates...)
+	eval := func() (float64, []int, bool) {
+		return bestPopulations(p, ix, rates)
+	}
+
+	const phi = 0.6180339887498949
+	for sweep := 0; sweep < refineSweeps; sweep++ {
+		improved := false
+		for i := range p.Flows {
+			lo, hi := p.Flows[i].RateMin, p.Flows[i].RateMax
+			// Bracket one grid step either side of the current rate.
+			span := (hi - lo) / float64(len(best.RateGrids[i]))
+			a := math.Max(lo, rates[i]-2*span)
+			b := math.Min(hi, rates[i]+2*span)
+			if b <= a {
+				continue
+			}
+			x1 := b - phi*(b-a)
+			x2 := a + phi*(b-a)
+			f := func(r float64) float64 {
+				rates[i] = r
+				u, _, ok := eval()
+				if !ok {
+					return -1
+				}
+				return u
+			}
+			f1, f2 := f(x1), f(x2)
+			for k := 0; k < refineEvals/refineSweeps; k++ {
+				if f1 < f2 {
+					a, x1, f1 = x1, x2, f2
+					x2 = a + phi*(b-a)
+					f2 = f(x2)
+				} else {
+					b, x2, f2 = x2, x1, f1
+					x1 = b - phi*(b-a)
+					f1 = f(x1)
+				}
+			}
+			r := x1
+			if f2 > f1 {
+				r = x2
+			}
+			u, consumers, ok := func() (float64, []int, bool) {
+				rates[i] = r
+				return eval()
+			}()
+			if ok && u > best.Utility {
+				best.Utility = u
+				best.Best = model.Allocation{
+					Rates:     append([]float64(nil), rates...),
+					Consumers: consumers,
+				}
+				improved = true
+			} else {
+				rates[i] = best.Best.Rates[i]
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+}
+
+// rateGrid returns n evenly spaced samples covering [lo, hi] inclusive.
+func rateGrid(lo, hi float64, n int) []float64 {
+	if n == 1 || lo == hi {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	for k := range out {
+		out[k] = lo + (hi-lo)*float64(k)/float64(n-1)
+	}
+	return out
+}
+
+// bestPopulations computes the exact optimal populations for fixed rates,
+// or ok=false when the rates alone violate a link or node constraint.
+func bestPopulations(p *model.Problem, ix *model.Index, rates []float64) (float64, []int, bool) {
+	a := model.Allocation{Rates: rates, Consumers: make([]int, len(p.Classes))}
+	for _, l := range p.Links {
+		if model.LinkUsage(p, ix, a, l.ID) > l.Capacity {
+			return 0, nil, false
+		}
+	}
+
+	consumers := make([]int, len(p.Classes))
+	total := 0.0
+	for _, n := range p.Nodes {
+		budget := n.Capacity - model.NodeFlowUsage(p, ix, a, n.ID)
+		if budget < 0 {
+			return 0, nil, false
+		}
+		util := packNode(p, ix, n.ID, rates, budget, consumers)
+		total += util
+	}
+	return total, consumers, true
+}
+
+// packNode exhaustively assigns populations to the classes of one node
+// within the given budget, writing the best assignment into consumers and
+// returning its utility.
+func packNode(p *model.Problem, ix *model.Index, b model.NodeID, rates []float64, budget float64, consumers []int) float64 {
+	classes := ix.ClassesByNode(b)
+	if len(classes) == 0 {
+		return 0
+	}
+	cur := make([]int, len(classes))
+	bestAssign := make([]int, len(classes))
+	bestUtil := 0.0
+
+	var walk func(k int, left, util float64)
+	walk = func(k int, left, util float64) {
+		if k == len(classes) {
+			if util > bestUtil {
+				bestUtil = util
+				copy(bestAssign, cur)
+			}
+			return
+		}
+		c := &p.Classes[classes[k]]
+		r := rates[c.Flow]
+		unit := c.CostPerConsumer * r
+		perConsumer := c.Utility.Value(r)
+		maxN := c.MaxConsumers
+		if unit > 0 {
+			if byBudget := int(left / unit); byBudget < maxN {
+				maxN = byBudget
+			}
+		}
+		for n := maxN; n >= 0; n-- {
+			cur[k] = n
+			walk(k+1, left-float64(n)*unit, util+float64(n)*perConsumer)
+		}
+	}
+	walk(0, budget, 0)
+
+	for k, cid := range classes {
+		consumers[cid] = bestAssign[k]
+	}
+	return bestUtil
+}

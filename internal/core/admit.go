@@ -1,0 +1,120 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/model"
+)
+
+// Consumer allocation (Algorithm 2, step 2; Section 3.2). Given the current
+// flow rates, each node admits consumers greedily in decreasing order of
+// benefit-cost ratio
+//
+//	BC_j = U_j(r_flowMap(j)) / (G_{b,j} * r_flowMap(j)),
+//
+// one consumer at a time, until either the class is fully admitted
+// (n_j = n_j^max) or the node capacity c_b is reached. The budget available
+// for consumers is the capacity left after the consumer-independent
+// flow-node costs sum_i F_{b,i} r_i. If those costs alone exceed c_b, every
+// class at the node stays at n_j = 0.
+
+// admitResult reports one node's greedy allocation outcome.
+type admitResult struct {
+	// used is used_b(t): total node resource consumed after allocation,
+	// including flow-node costs.
+	used float64
+	// bestUnsatisfied is BC(b,t) of Equation 11: the highest benefit-cost
+	// ratio among classes with n_j < n_j^max, or 0 when every class is
+	// fully admitted (relaxing the constraint buys nothing).
+	bestUnsatisfied float64
+}
+
+// classBC pairs a class with its benefit-cost ratio for sorting.
+type classBC struct {
+	id model.ClassID
+	bc float64
+	// unitCost is G_{b,j} * r: node resource per admitted consumer.
+	unitCost float64
+	// value is U_j(r), cached for the utility bookkeeping.
+	value float64
+}
+
+// admitNode runs the greedy allocation for node b, writing the resulting
+// populations into consumers (indexed by ClassID). active reports whether a
+// flow participates this iteration; classes of inactive flows are forced to
+// zero and ignored.
+func admitNode(
+	p *model.Problem,
+	ix *model.Index,
+	b model.NodeID,
+	rates []float64,
+	active []bool,
+	consumers []int,
+	scratch []classBC,
+) admitResult {
+	node := &p.Nodes[b]
+
+	flowUse := 0.0
+	for _, i := range ix.FlowsByNode(b) {
+		if active[i] {
+			flowUse += node.FlowCost[i] * rates[i]
+		}
+	}
+
+	// Rank classes by benefit-cost ratio (Equation 10). The ratio does
+	// not depend on n_j, so a single sort implements the paper's
+	// "increase the best class until full, then move on" loop.
+	ranked := scratch[:0]
+	for _, cid := range ix.ClassesByNode(b) {
+		c := &p.Classes[cid]
+		if !active[c.Flow] {
+			consumers[cid] = 0
+			continue
+		}
+		r := rates[c.Flow]
+		value := c.Utility.Value(r)
+		if value <= 0 {
+			// A consumer with non-positive utility at this rate would
+			// spend node resource without increasing the objective
+			// (possible for utilities that start negative or at zero
+			// when r is pinned very low); never admit it.
+			consumers[cid] = 0
+			continue
+		}
+		unit := c.CostPerConsumer * r
+		ranked = append(ranked, classBC{
+			id:       cid,
+			bc:       value / unit,
+			unitCost: unit,
+			value:    value,
+		})
+	}
+	sort.Slice(ranked, func(x, y int) bool {
+		if ranked[x].bc != ranked[y].bc {
+			return ranked[x].bc > ranked[y].bc
+		}
+		return ranked[x].id < ranked[y].id
+	})
+
+	budget := node.Capacity - flowUse
+	used := flowUse
+	best := 0.0
+	for _, cb := range ranked {
+		c := &p.Classes[cb.id]
+		n := 0
+		if budget > 0 {
+			n = int(budget / cb.unitCost)
+			if n > c.MaxConsumers {
+				n = c.MaxConsumers
+			}
+		}
+		consumers[cb.id] = n
+		cost := float64(n) * cb.unitCost
+		budget -= cost
+		used += cost
+		if n < c.MaxConsumers && cb.bc > best {
+			best = cb.bc
+		}
+	}
+	return admitResult{used: used, bestUnsatisfied: best}
+}

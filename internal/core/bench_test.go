@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/utility"
+	"repro/internal/workload"
+)
+
+// Micro-benchmarks for the optimizer's inner loops; the table/figure-level
+// benchmarks live in the repository root's bench_test.go.
+
+func BenchmarkEngineStepBase(b *testing.B) {
+	e, err := NewEngine(workload.Base(), Config{Adaptive: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+func BenchmarkEngineStepLarge(b *testing.B) {
+	e, err := NewEngine(workload.Scaled(workload.Config{FlowCopies: 4, NodeSetCopies: 2}), Config{Adaptive: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+func BenchmarkEngineSolveBase(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e, err := NewEngine(workload.Base(), Config{Adaptive: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.Solve(250)
+	}
+}
+
+func BenchmarkGreedyPopulations(b *testing.B) {
+	p := workload.Base()
+	ix := model.NewIndex(p)
+	rates := make([]float64, len(p.Flows))
+	for i := range rates {
+		rates[i] = 20
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GreedyPopulations(p, ix, rates)
+	}
+}
+
+func BenchmarkRateSolverClosedForm(b *testing.B) {
+	p, ix := rateProblem(10, 1000, utility.NewLog(20), utility.NewLog(5), utility.NewLog(1))
+	rs := newRateSolver(p, ix, 0)
+	consumers := []int{100, 200, 300}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs.solve(consumers, 37.5)
+	}
+}
+
+func BenchmarkRateSolverBisection(b *testing.B) {
+	p, ix := rateProblem(10, 1000, utility.NewLog(20), utility.NewPower(10, 0.5))
+	rs := newRateSolver(p, ix, 0)
+	consumers := []int{100, 200}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs.solve(consumers, 37.5)
+	}
+}

@@ -1,0 +1,135 @@
+// Package core implements LRGP (Lagrangian Rates, Greedy Populations), the
+// distributed utility-optimization algorithm of Lumezanu, Bhola and Astley,
+// "Utility Optimization for Event-Driven Distributed Infrastructures"
+// (ICDCS 2006), Section 3.
+//
+// A single LRGP iteration consists of:
+//
+//  1. Rate allocation (Algorithm 1): each flow source maximizes
+//     sum_j n_j U_j(r) - r*(PL_i + PB_i) given the previous iteration's
+//     populations and prices (Equation 7).
+//  2. Consumer allocation (Algorithm 2): each node greedily admits
+//     consumers in decreasing benefit-cost order (Equation 10) within the
+//     node capacity.
+//  3. Price computation: each node dampens its price toward the best
+//     unsatisfied benefit-cost ratio, or pushes it up proportionally to
+//     overload (Equation 12); each link adjusts its price by gradient
+//     projection (Equation 13).
+//
+// The Engine in this package is the synchronous, in-process formulation the
+// paper evaluates; package dist runs the same three algorithms as
+// message-passing agents.
+package core
+
+// Default stepsizes and bounds. The paper constrains the node-price
+// stepsize gamma to [0.001, 0.1] after the damping study (Section 4.2) and
+// adapts it by +0.001 per quiet iteration and halving on fluctuation.
+const (
+	DefaultGamma         = 0.1
+	DefaultGammaMin      = 0.001
+	DefaultGammaMax      = 0.1
+	DefaultGammaStep     = 0.001
+	DefaultGammaDeadband = 0.01
+	DefaultGammaSurge    = 0.3
+	DefaultLinkGamma     = 0.001
+)
+
+// Config tunes an Engine. The zero value is normalized to the paper's
+// defaults: fixed gamma1 = gamma2 = 0.1, link gamma 0.001, zero initial
+// prices.
+type Config struct {
+	// Gamma1 is the damping stepsize toward the benefit-cost price when
+	// the node is within capacity (Equation 12, first branch). Default
+	// DefaultGamma.
+	Gamma1 float64
+	// Gamma2 scales the overload push when node usage exceeds capacity
+	// (Equation 12, second branch). Defaults to Gamma1; the paper sets
+	// gamma1 = gamma2 throughout its experiments.
+	Gamma2 float64
+	// Adaptive enables the per-node adaptive gamma heuristic of Section
+	// 4.2: start at GammaInit, add GammaStep per iteration while the
+	// price is not fluctuating, halve on fluctuation, clamp to
+	// [GammaMin, GammaMax]. When set, Gamma1/Gamma2 are ignored.
+	Adaptive bool
+	// GammaInit is the adaptive starting value (default GammaMax).
+	GammaInit float64
+	// GammaMin and GammaMax bound the adaptive gamma (defaults
+	// DefaultGammaMin, DefaultGammaMax).
+	GammaMin float64
+	GammaMax float64
+	// GammaStep is the additive increase per quiet iteration (default
+	// DefaultGammaStep).
+	GammaStep float64
+	// GammaDeadband is the relative gap significance below which a sign
+	// flip is not treated as a fluctuation (default
+	// DefaultGammaDeadband); see gammaController.
+	GammaDeadband float64
+	// GammaSurge is the relative gap significance above which gamma
+	// ramps multiplicatively for fast recovery from workload changes
+	// (default DefaultGammaSurge); see gammaController.
+	GammaSurge float64
+	// GammaLiteral selects the paper's Section 4.2 heuristic exactly as
+	// written: any sign flip of the price movement halves gamma and any
+	// quiet iteration adds GammaStep, with no dead band and no surge
+	// ramp. Used by the controller-ablation experiment; the default
+	// (false) enables the dead band and surge refinements documented in
+	// EXPERIMENTS.md.
+	GammaLiteral bool
+	// LinkGamma is the gradient-projection stepsize for link prices
+	// (Equation 13). Default DefaultLinkGamma.
+	LinkGamma float64
+	// InitialNodePrice and InitialLinkPrice seed the price vectors.
+	// Default 0.
+	InitialNodePrice float64
+	InitialLinkPrice float64
+}
+
+// WithDefaults returns the configuration with every unset field replaced
+// by its default, exactly as NewEngine applies them. Other packages that
+// drive the exported primitives directly (e.g. the distributed runtime)
+// should normalize through this before use.
+func (c Config) WithDefaults() Config {
+	return c.normalized()
+}
+
+func (c Config) normalized() Config {
+	if c.Gamma1 <= 0 {
+		c.Gamma1 = DefaultGamma
+	}
+	if c.Gamma2 <= 0 {
+		c.Gamma2 = c.Gamma1
+	}
+	if c.GammaMin <= 0 {
+		c.GammaMin = DefaultGammaMin
+	}
+	if c.GammaMax <= 0 {
+		c.GammaMax = DefaultGammaMax
+	}
+	if c.GammaMax < c.GammaMin {
+		// An inverted clamp would freeze the controller; collapse it to
+		// the single point the caller's lower bound defines.
+		c.GammaMax = c.GammaMin
+	}
+	if c.GammaInit <= 0 {
+		c.GammaInit = c.GammaMax
+	}
+	if c.GammaStep <= 0 {
+		c.GammaStep = DefaultGammaStep
+	}
+	if c.GammaDeadband <= 0 {
+		c.GammaDeadband = DefaultGammaDeadband
+	}
+	if c.GammaSurge <= 0 {
+		c.GammaSurge = DefaultGammaSurge
+	}
+	if c.LinkGamma <= 0 {
+		c.LinkGamma = DefaultLinkGamma
+	}
+	if c.InitialNodePrice < 0 {
+		c.InitialNodePrice = 0
+	}
+	if c.InitialLinkPrice < 0 {
+		c.InitialLinkPrice = 0
+	}
+	return c
+}

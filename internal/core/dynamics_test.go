@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/workload"
+)
+
+// Tests for the engine's mid-run workload-dynamics surface (Section 2.1:
+// the algorithm runs all the time, responding to changes in workload and
+// system capacity).
+
+func TestSetClassDemandGrowth(t *testing.T) {
+	p := workload.Base()
+	e, err := NewEngine(p, Config{Adaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := e.Solve(400)
+
+	// Demand for the top-ranked class (18: rank 100) doubles.
+	if err := e.SetClassDemand(18, 3000); err != nil {
+		t.Fatal(err)
+	}
+	after := e.Solve(400)
+	if !after.Converged {
+		t.Fatal("did not reconverge after demand growth")
+	}
+	if after.Utility <= before.Utility {
+		t.Errorf("utility %0.f did not grow with high-value demand (was %.0f)",
+			after.Utility, before.Utility)
+	}
+	if after.Allocation.Consumers[18] <= before.Allocation.Consumers[18] {
+		t.Errorf("population %d did not grow (was %d)",
+			after.Allocation.Consumers[18], before.Allocation.Consumers[18])
+	}
+}
+
+func TestSetClassDemandShrinkClampsPopulation(t *testing.T) {
+	e, err := NewEngine(workload.Base(), Config{Adaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Solve(250)
+	if err := e.SetClassDemand(18, 5); err != nil {
+		t.Fatal(err)
+	}
+	// The stored population must be clamped immediately, before the next
+	// iteration, so the utility accounting never uses a stale n > max.
+	if n := e.Allocation().Consumers[18]; n > 5 {
+		t.Errorf("population %d exceeds new demand 5", n)
+	}
+	res := e.Solve(250)
+	if res.Allocation.Consumers[18] > 5 {
+		t.Errorf("population %d exceeds demand after re-solve", res.Allocation.Consumers[18])
+	}
+}
+
+func TestSetClassDemandErrors(t *testing.T) {
+	e, err := NewEngine(workload.Base(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetClassDemand(99, 1); err == nil {
+		t.Error("unknown class accepted")
+	}
+	if err := e.SetClassDemand(0, -1); err == nil {
+		t.Error("negative demand accepted")
+	}
+}
+
+func TestSetNodeCapacityDegradation(t *testing.T) {
+	p := workload.Base()
+	e, err := NewEngine(p, Config{Adaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := e.Solve(400)
+
+	for b := range p.Nodes {
+		if err := e.SetNodeCapacity(model.NodeID(b), workload.NodeCapacity/2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := e.Solve(600)
+	if !after.Converged {
+		t.Fatal("did not reconverge after capacity drop")
+	}
+	if after.Utility >= before.Utility {
+		t.Errorf("utility %.0f did not fall with halved capacity (was %.0f)",
+			after.Utility, before.Utility)
+	}
+	// The halved-capacity optimum must match a fresh engine on the
+	// halved problem (warm start converges to the same place).
+	fresh, err := NewEngine(p.Clone(), Config{Adaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fresh.Solve(600).Utility
+	if rel := math.Abs(after.Utility-want) / want; rel > 0.01 {
+		t.Errorf("warm-start utility %.0f deviates %.2f%% from cold-start %.0f",
+			after.Utility, rel*100, want)
+	}
+	// And the allocation must actually be feasible at the new capacity.
+	ix := e.Index()
+	if err := model.CheckFeasible(p, ix, after.Allocation, 1e-6); err != nil {
+		t.Errorf("infeasible after capacity drop: %v", err)
+	}
+}
+
+func TestSetNodeCapacityErrors(t *testing.T) {
+	e, err := NewEngine(workload.Base(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetNodeCapacity(99, 1); err == nil {
+		t.Error("unknown node accepted")
+	}
+	if err := e.SetNodeCapacity(0, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}

@@ -1,0 +1,321 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/model"
+)
+
+// Engine runs synchronous LRGP iterations over a problem. It is the
+// colocated formulation discussed in Section 3.5: all per-flow and per-node
+// algorithm pieces execute in one process, in the same data-dependency
+// order as the distributed version (rates, then populations, then prices).
+//
+// An Engine is not safe for concurrent use; wrap it or use package dist for
+// a concurrent, message-passing deployment.
+type Engine struct {
+	p   *model.Problem
+	ix  *model.Index
+	cfg Config
+
+	iteration int
+	rates     []float64
+	consumers []int
+	active    []bool
+
+	nodePrices []float64
+	linkPrices []float64
+	nodeGamma  []gammaController
+
+	solvers []*rateSolver
+	scratch []classBC
+}
+
+// StepResult summarizes one LRGP iteration.
+type StepResult struct {
+	// Iteration is 1-based.
+	Iteration int
+	// Utility is the objective value (Equation 1) after the iteration's
+	// consumer allocation.
+	Utility float64
+	// MaxNodeOverload is the largest node usage minus capacity across
+	// nodes (positive only when flow-node costs alone exceed some node's
+	// capacity; the greedy step never overshoots otherwise).
+	MaxNodeOverload float64
+	// MaxLinkOverload is the largest link usage minus capacity.
+	MaxLinkOverload float64
+}
+
+// NewEngine validates the problem and prepares an engine. The initial state
+// is the LRGP starting point: all rates at r^min, all populations zero, all
+// prices at the configured initial values.
+func NewEngine(p *model.Problem, cfg Config) (*Engine, error) {
+	if err := model.Validate(p); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	c := cfg.normalized()
+	ix := model.NewIndex(p)
+
+	e := &Engine{
+		p:          p,
+		ix:         ix,
+		cfg:        c,
+		rates:      make([]float64, len(p.Flows)),
+		consumers:  make([]int, len(p.Classes)),
+		active:     make([]bool, len(p.Flows)),
+		nodePrices: make([]float64, len(p.Nodes)),
+		linkPrices: make([]float64, len(p.Links)),
+		nodeGamma:  make([]gammaController, len(p.Nodes)),
+		solvers:    make([]*rateSolver, len(p.Flows)),
+		scratch:    make([]classBC, 0, len(p.Classes)),
+	}
+	for i := range p.Flows {
+		e.rates[i] = p.Flows[i].RateMin
+		e.active[i] = true
+		e.solvers[i] = newRateSolver(p, ix, model.FlowID(i))
+	}
+	for b := range e.nodePrices {
+		e.nodePrices[b] = c.InitialNodePrice
+		e.nodeGamma[b] = newGammaController(c)
+	}
+	for l := range e.linkPrices {
+		e.linkPrices[l] = c.InitialLinkPrice
+	}
+	return e, nil
+}
+
+// Step performs one synchronous LRGP iteration: Algorithm 1 at every flow
+// source, then Algorithm 2 and the Equation 12 price update at every node,
+// then Algorithm 3 (Equation 13) for every link.
+func (e *Engine) Step() StepResult {
+	e.iteration++
+
+	// 1. Rate allocation, using last iteration's populations and prices.
+	for i := range e.p.Flows {
+		if !e.active[i] {
+			e.rates[i] = 0
+			continue
+		}
+		price := e.flowPrice(model.FlowID(i))
+		e.rates[i] = e.solvers[i].solve(e.consumers, price)
+	}
+
+	// 2. Greedy consumer allocation and node price update.
+	res := StepResult{Iteration: e.iteration}
+	for b := range e.p.Nodes {
+		bid := model.NodeID(b)
+		out := admitNode(e.p, e.ix, bid, e.rates, e.active, e.consumers, e.scratch)
+		if over := out.used - e.p.Nodes[b].Capacity; over > res.MaxNodeOverload {
+			res.MaxNodeOverload = over
+		}
+
+		gamma1, gamma2 := e.cfg.Gamma1, e.cfg.Gamma2
+		prev := e.nodePrices[b]
+		if e.cfg.Adaptive {
+			gamma1 = e.nodeGamma[b].gamma
+			gamma2 = gamma1
+		}
+		capacity := e.p.Nodes[b].Capacity
+		next := nodePriceUpdate(prev, out.bestUnsatisfied, out.used, capacity, gamma1, gamma2)
+		if e.cfg.Adaptive {
+			e.nodeGamma[b].observe(priceGap(prev, out.bestUnsatisfied, out.used, capacity), prev)
+		}
+		e.nodePrices[b] = next
+	}
+
+	// 3. Link price update.
+	for l := range e.p.Links {
+		lid := model.LinkID(l)
+		used := 0.0
+		for _, i := range e.ix.FlowsByLink(lid) {
+			if e.active[i] {
+				used += e.p.Links[l].FlowCost[i] * e.rates[i]
+			}
+		}
+		if over := used - e.p.Links[l].Capacity; over > res.MaxLinkOverload {
+			res.MaxLinkOverload = over
+		}
+		e.linkPrices[l] = linkPriceUpdate(e.linkPrices[l], used, e.p.Links[l].Capacity, e.cfg.LinkGamma)
+	}
+
+	res.Utility = e.Utility()
+	return res
+}
+
+// flowPrice computes PL_i + PB_i (Equations 8 and 9) for flow i from the
+// current prices and populations.
+func (e *Engine) flowPrice(i model.FlowID) float64 {
+	price := 0.0
+	for _, l := range e.ix.LinksByFlow(i) {
+		price += e.p.Links[l].FlowCost[i] * e.linkPrices[l]
+	}
+	for _, b := range e.ix.NodesByFlow(i) {
+		coeff := e.p.Nodes[b].FlowCost[i]
+		for _, cid := range e.ix.ClassesByNode(b) {
+			c := &e.p.Classes[cid]
+			if c.Flow == i {
+				coeff += c.CostPerConsumer * float64(e.consumers[cid])
+			}
+		}
+		price += coeff * e.nodePrices[b]
+	}
+	return price
+}
+
+// Utility returns the current objective value (Equation 1). Classes of
+// inactive flows contribute nothing (their populations are zero).
+func (e *Engine) Utility() float64 {
+	total := 0.0
+	for j := range e.p.Classes {
+		n := e.consumers[j]
+		if n == 0 {
+			continue
+		}
+		c := &e.p.Classes[j]
+		total += float64(n) * c.Utility.Value(e.rates[c.Flow])
+	}
+	return total
+}
+
+// SetFlowActive includes or excludes a flow from subsequent iterations,
+// modeling a flow source joining or leaving the system (the Figure 3
+// experiment removes flow 5 mid-run). Deactivating zeroes the flow's rate
+// and its classes' populations immediately.
+func (e *Engine) SetFlowActive(i model.FlowID, active bool) {
+	if e.active[i] == active {
+		return
+	}
+	e.active[i] = active
+	if !active {
+		e.rates[i] = 0
+		for _, cid := range e.ix.ClassesByFlow(i) {
+			e.consumers[cid] = 0
+		}
+	} else {
+		e.rates[i] = e.p.Flows[i].RateMin
+	}
+}
+
+// FlowActive reports whether flow i participates in iterations.
+func (e *Engine) FlowActive(i model.FlowID) bool { return e.active[i] }
+
+// SetClassDemand changes a class's n^max mid-run, modeling consumers
+// arriving at or leaving the system (the engine "runs all the time,
+// responding to changes in workload", Section 2.1). The next iteration's
+// greedy allocation picks the change up; prices adapt over the following
+// iterations.
+func (e *Engine) SetClassDemand(j model.ClassID, maxConsumers int) error {
+	if j < 0 || int(j) >= len(e.p.Classes) {
+		return fmt.Errorf("core: unknown class %d", j)
+	}
+	if maxConsumers < 0 {
+		return fmt.Errorf("core: class %d demand %d < 0", j, maxConsumers)
+	}
+	e.p.Classes[j].MaxConsumers = maxConsumers
+	if e.consumers[j] > maxConsumers {
+		e.consumers[j] = maxConsumers
+	}
+	return nil
+}
+
+// SetNodeCapacity changes a node's capacity mid-run, modeling hardware
+// degradation or scale-out.
+func (e *Engine) SetNodeCapacity(b model.NodeID, capacity float64) error {
+	if b < 0 || int(b) >= len(e.p.Nodes) {
+		return fmt.Errorf("core: unknown node %d", b)
+	}
+	if capacity <= 0 {
+		return fmt.Errorf("core: node %d capacity %g <= 0", b, capacity)
+	}
+	e.p.Nodes[b].Capacity = capacity
+	return nil
+}
+
+// Iteration returns the number of completed iterations.
+func (e *Engine) Iteration() int { return e.iteration }
+
+// Problem returns the engine's problem.
+func (e *Engine) Problem() *model.Problem { return e.p }
+
+// Index returns the engine's precomputed lookup index.
+func (e *Engine) Index() *model.Index { return e.ix }
+
+// Allocation returns a copy of the current rates and populations.
+func (e *Engine) Allocation() model.Allocation {
+	a := model.Allocation{
+		Rates:     make([]float64, len(e.rates)),
+		Consumers: make([]int, len(e.consumers)),
+	}
+	copy(a.Rates, e.rates)
+	copy(a.Consumers, e.consumers)
+	return a
+}
+
+// NodePrices returns a copy of the node price vector.
+func (e *Engine) NodePrices() []float64 {
+	out := make([]float64, len(e.nodePrices))
+	copy(out, e.nodePrices)
+	return out
+}
+
+// LinkPrices returns a copy of the link price vector.
+func (e *Engine) LinkPrices() []float64 {
+	out := make([]float64, len(e.linkPrices))
+	copy(out, e.linkPrices)
+	return out
+}
+
+// Gammas returns a copy of the per-node adaptive stepsizes (meaningful only
+// with Config.Adaptive).
+func (e *Engine) Gammas() []float64 {
+	out := make([]float64, len(e.nodeGamma))
+	for b := range e.nodeGamma {
+		out[b] = e.nodeGamma[b].gamma
+	}
+	return out
+}
+
+// Result summarizes a Solve run.
+type Result struct {
+	// Utility is the objective value at the final iteration.
+	Utility float64
+	// Iterations is the number of iterations executed.
+	Iterations int
+	// Converged reports whether the 0.1% amplitude rule was met.
+	Converged bool
+	// ConvergedAt is the first iteration satisfying the rule (or -1).
+	ConvergedAt int
+	// Allocation is the final allocation.
+	Allocation model.Allocation
+	// Trace is the utility after each iteration.
+	Trace []float64
+}
+
+// Solve runs until the paper's convergence rule (utility oscillation
+// amplitude < 0.1% over a trailing window) or maxIter iterations,
+// whichever comes first, and returns the outcome. Iterations continue for
+// one full window after first detection so the reported utility is the
+// settled value.
+func (e *Engine) Solve(maxIter int) Result {
+	if maxIter <= 0 {
+		maxIter = 250
+	}
+	det := metrics.NewConvergenceDetector(0, 0)
+	trace := make([]float64, 0, maxIter)
+	for t := 0; t < maxIter; t++ {
+		r := e.Step()
+		trace = append(trace, r.Utility)
+		if det.Observe(r.Utility) {
+			break
+		}
+	}
+	return Result{
+		Utility:     trace[len(trace)-1],
+		Iterations:  len(trace),
+		Converged:   det.Converged(),
+		ConvergedAt: det.ConvergedAt(),
+		Allocation:  e.Allocation(),
+		Trace:       trace,
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+// Price computation (Sections 3.3 and 3.4).
+//
+// Node prices dampen toward the benefit-cost ratio of the best unsatisfied
+// class (Equation 12); the stepsize gamma is either fixed or adapted per
+// node with the Section 4.2 heuristic. Link prices follow the gradient
+// projection of Low & Lapsley (Equation 13).
+
+// gammaController implements the Section 4.2 adaptive stepsize heuristic:
+// while the node's price is not fluctuating, increase gamma additively;
+// when a fluctuation is detected, halve gamma; clamp to [min, max].
+//
+// The controller watches the price-update *gap* — the distance the
+// Equation 12 update is trying to move the price (BC - p when within
+// capacity, the overload excess otherwise) — rather than the applied
+// delta, because the delta's magnitude is proportional to gamma itself.
+// Each observation is scored by its relative significance
+//
+//	s = |gap| / (|price| + |gap|),
+//
+// which is ~0 for equilibrium jitter and ~1 when the price is far from its
+// target. Three regimes follow:
+//
+//   - sign flip with s above the dead band: genuine oscillation, halve;
+//   - s above the surge threshold AND the gap one-signed for at least
+//     surgeRuns observations: far from equilibrium (workload change,
+//     startup), ramp gamma multiplicatively for fast recovery — the run
+//     requirement keeps large-amplitude oscillation from re-triggering
+//     the ramp;
+//   - otherwise: quiet, grow additively (the paper's +0.001).
+type gammaController struct {
+	gamma    float64
+	min, max float64
+	step     float64
+	deadband float64
+	surge    float64
+	prevGap  float64
+	havePrev bool
+	sameRun  int
+}
+
+// surgeRuns is how many consecutive same-signed significant gaps must be
+// seen before the multiplicative ramp engages.
+const surgeRuns = 3
+
+func newGammaController(cfg Config) gammaController {
+	g := gammaController{
+		gamma:    clamp(cfg.GammaInit, cfg.GammaMin, cfg.GammaMax),
+		min:      cfg.GammaMin,
+		max:      cfg.GammaMax,
+		step:     cfg.GammaStep,
+		deadband: cfg.GammaDeadband,
+		surge:    cfg.GammaSurge,
+	}
+	if cfg.GammaLiteral {
+		// The paper's heuristic verbatim: every sign flip counts, no
+		// multiplicative ramp (surge > 1 can never trigger since the
+		// significance score s is bounded by 1).
+		g.deadband = 0
+		g.surge = 2
+	}
+	return g
+}
+
+// observe folds one price-update gap (and the price level it applied to)
+// into the controller and returns the gamma for the next update.
+func (g *gammaController) observe(gap, price float64) float64 {
+	s := 0.0
+	if gap != 0 {
+		s = abs(gap) / (abs(price) + abs(gap))
+	}
+	flipped := g.havePrev && s > g.deadband && gap*g.prevGap < 0
+	if s > g.deadband {
+		if flipped {
+			g.sameRun = 0
+		} else if g.havePrev && gap*g.prevGap > 0 {
+			g.sameRun++
+		}
+		g.prevGap = gap
+		g.havePrev = true
+	}
+	switch {
+	case flipped:
+		g.gamma /= 2
+	case s > g.surge && g.sameRun >= surgeRuns:
+		g.gamma *= 2
+	default:
+		g.gamma += g.step
+	}
+	g.gamma = clamp(g.gamma, g.min, g.max)
+	return g.gamma
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// nodePriceUpdate applies Equation 12 and returns the new price.
+//
+//	p(t+1) = p(t) + gamma1*(BC(b,t) - p(t))   if used <= capacity
+//	p(t+1) = p(t) + gamma2*(used - capacity)  if used >  capacity
+//
+// Prices are projected to be non-negative.
+func nodePriceUpdate(price, bestBC, used, capacity, gamma1, gamma2 float64) float64 {
+	var next float64
+	if used <= capacity {
+		next = price + gamma1*(bestBC-price)
+	} else {
+		next = price + gamma2*(used-capacity)
+	}
+	if next < 0 {
+		return 0
+	}
+	return next
+}
+
+// priceGap returns the distance the Equation 12 update is pulling the
+// price: BC - p within capacity, the overload excess otherwise. The
+// adaptive controller watches this signal.
+func priceGap(price, bestBC, used, capacity float64) float64 {
+	if used <= capacity {
+		return bestBC - price
+	}
+	return used - capacity
+}
+
+// linkPriceUpdate applies Equation 13 with projection onto [0, inf):
+//
+//	p(t+1) = [p(t) + gamma_l * (sum_i L_{l,i} r_i - c_l)]+
+func linkPriceUpdate(price, used, capacity, gamma float64) float64 {
+	next := price + gamma*(used-capacity)
+	if next < 0 {
+		return 0
+	}
+	return next
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNodePriceDampensTowardBC(t *testing.T) {
+	// Underloaded: p <- p + gamma1*(BC - p).
+	got := nodePriceUpdate(1.0, 2.0, 500, 1000, 0.1, 0.5)
+	if math.Abs(got-1.1) > 1e-12 {
+		t.Errorf("price = %g, want 1.1", got)
+	}
+	// Moves down when BC < p.
+	got = nodePriceUpdate(1.0, 0.0, 500, 1000, 0.1, 0.5)
+	if math.Abs(got-0.9) > 1e-12 {
+		t.Errorf("price = %g, want 0.9", got)
+	}
+}
+
+func TestNodePriceOverloadBranch(t *testing.T) {
+	// Overloaded: p <- p + gamma2*(used - capacity).
+	got := nodePriceUpdate(1.0, 99.0, 1500, 1000, 0.1, 0.01)
+	if math.Abs(got-6.0) > 1e-12 {
+		t.Errorf("price = %g, want 6 (1 + 0.01*500)", got)
+	}
+}
+
+func TestNodePriceExactCapacityUsesBCBranch(t *testing.T) {
+	// used == capacity takes the first branch per Equation 12.
+	got := nodePriceUpdate(2.0, 4.0, 1000, 1000, 0.5, 99)
+	if math.Abs(got-3.0) > 1e-12 {
+		t.Errorf("price = %g, want 3", got)
+	}
+}
+
+func TestNodePriceNonNegative(t *testing.T) {
+	// gamma1 > 1 could overshoot below zero; projection clamps.
+	got := nodePriceUpdate(1.0, 0.0, 500, 1000, 1.5, 1)
+	if got != 0 {
+		t.Errorf("price = %g, want 0", got)
+	}
+}
+
+func TestLinkPriceGradientProjection(t *testing.T) {
+	// Overloaded link: price rises.
+	got := linkPriceUpdate(1.0, 600, 500, 0.01)
+	if math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("price = %g, want 2", got)
+	}
+	// Underloaded link: price falls.
+	got = linkPriceUpdate(1.0, 400, 500, 0.005)
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("price = %g, want 0.5", got)
+	}
+	// Projection at zero.
+	got = linkPriceUpdate(0.1, 100, 500, 0.01)
+	if got != 0 {
+		t.Errorf("price = %g, want 0", got)
+	}
+}
+
+func TestGammaControllerIncreasesWhenQuiet(t *testing.T) {
+	g := newGammaController(Config{
+		GammaInit: 0.05, GammaMin: 0.001, GammaMax: 0.1, GammaStep: 0.001,
+	}.normalized())
+	// Deltas with a constant sign: gamma grows additively.
+	got := g.observe(0.1, 1)
+	if math.Abs(got-0.051) > 1e-12 {
+		t.Errorf("gamma = %g, want 0.051", got)
+	}
+	got = g.observe(0.2, 1)
+	if math.Abs(got-0.052) > 1e-12 {
+		t.Errorf("gamma = %g, want 0.052", got)
+	}
+}
+
+func TestGammaControllerHalvesOnFluctuation(t *testing.T) {
+	g := newGammaController(Config{
+		GammaInit: 0.08, GammaMin: 0.001, GammaMax: 0.1, GammaStep: 0.001,
+	}.normalized())
+	g.observe(0.1, 1)  // 0.081
+	g.observe(-0.1, 1) // sign flip: halve to 0.0405
+	if math.Abs(g.gamma-0.0405) > 1e-12 {
+		t.Errorf("gamma = %g, want 0.0405", g.gamma)
+	}
+}
+
+func TestGammaControllerClamps(t *testing.T) {
+	g := newGammaController(Config{
+		GammaInit: 0.1, GammaMin: 0.001, GammaMax: 0.1, GammaStep: 0.001,
+	}.normalized())
+	// Quiet forever: stays at max.
+	for i := 0; i < 10; i++ {
+		g.observe(0.1, 1)
+	}
+	if g.gamma != 0.1 {
+		t.Errorf("gamma = %g, want clamped at 0.1", g.gamma)
+	}
+	// Oscillate forever: floors at min.
+	sign := 1.0
+	for i := 0; i < 30; i++ {
+		g.observe(sign, 1)
+		sign = -sign
+	}
+	if g.gamma != 0.001 {
+		t.Errorf("gamma = %g, want clamped at 0.001", g.gamma)
+	}
+}
+
+func TestGammaControllerZeroDeltaKeepsSign(t *testing.T) {
+	g := newGammaController(Config{
+		GammaInit: 0.05, GammaMin: 0.001, GammaMax: 0.1, GammaStep: 0.001,
+	}.normalized())
+	g.observe(0.1, 1)
+	g.observe(0, 1) // no movement: not a fluctuation, prev sign retained
+	if math.Abs(g.gamma-0.052) > 1e-12 {
+		t.Errorf("gamma = %g, want 0.052", g.gamma)
+	}
+	// A negative delta now still counts as a flip against the stored +0.1.
+	g.observe(-0.1, 1)
+	if math.Abs(g.gamma-0.026) > 1e-12 {
+		t.Errorf("gamma = %g, want 0.026", g.gamma)
+	}
+}
+
+func TestGammaControllerDeadband(t *testing.T) {
+	g := newGammaController(Config{
+		GammaInit: 0.05, GammaMin: 0.001, GammaMax: 0.1,
+		GammaStep: 0.001, GammaDeadband: 0.01,
+	}.normalized())
+	g.observe(0.1, 1) // significant, stores +0.1
+	// Hair-width jitter around a price of 1: |delta| = 0.001 < 1% of 1,
+	// so sign flips do NOT halve gamma and do not overwrite the stored
+	// direction.
+	g.observe(-0.001, 1)
+	g.observe(0.001, 1)
+	if math.Abs(g.gamma-0.053) > 1e-12 {
+		t.Errorf("gamma = %g, want 0.053 (jitter ignored)", g.gamma)
+	}
+	// A significant flip still halves.
+	g.observe(-0.1, 1)
+	if math.Abs(g.gamma-0.0265) > 1e-12 {
+		t.Errorf("gamma = %g, want 0.0265", g.gamma)
+	}
+}
+
+func TestGammaControllerSurge(t *testing.T) {
+	g := newGammaController(Config{
+		GammaInit: 0.004, GammaMin: 0.001, GammaMax: 0.1,
+		GammaStep: 0.001, GammaDeadband: 0.01, GammaSurge: 0.3,
+	}.normalized())
+	// Price far from target (e.g. after a flow departure): the gap
+	// dominates the price level and keeps one sign. The multiplicative
+	// ramp engages only after surgeRuns consecutive same-signed
+	// observations, so oscillation cannot re-trigger it.
+	for i := 0; i < surgeRuns+1; i++ {
+		g.observe(1.0, 0.1) // s ~ 0.91 > surge
+	}
+	// surgeRuns+1 observations: additive growth until the run is
+	// established, then one doubling.
+	want := 2 * (0.004 + float64(surgeRuns)*0.001)
+	if math.Abs(g.gamma-want) > 1e-12 {
+		t.Errorf("gamma = %g, want %g after ramp engages", g.gamma, want)
+	}
+	g.observe(0.8, 0.3)
+	if math.Abs(g.gamma-2*want) > 1e-12 {
+		t.Errorf("gamma = %g, want %g (ramp continues)", g.gamma, 2*want)
+	}
+	// A flip resets the run and halves.
+	g.observe(-0.8, 0.3)
+	if math.Abs(g.gamma-want) > 1e-12 {
+		t.Errorf("gamma = %g, want halved to %g", g.gamma, want)
+	}
+	g.observe(-0.8, 0.3) // same sign again, run = 1 < surgeRuns: additive
+	if math.Abs(g.gamma-(want+0.001)) > 1e-12 {
+		t.Errorf("gamma = %g, want additive %g", g.gamma, want+0.001)
+	}
+}
+
+func TestPriceGap(t *testing.T) {
+	// Within capacity: gap pulls toward BC.
+	if got := priceGap(0.5, 0.8, 100, 200); math.Abs(got-0.3) > 1e-12 {
+		t.Errorf("gap = %g, want 0.3", got)
+	}
+	if got := priceGap(0.8, 0.5, 200, 200); math.Abs(got+0.3) > 1e-12 {
+		t.Errorf("gap = %g, want -0.3 (exact capacity uses BC branch)", got)
+	}
+	// Overload: gap is the excess.
+	if got := priceGap(0.5, 9.9, 250, 200); got != 50 {
+		t.Errorf("gap = %g, want 50", got)
+	}
+}
+
+func TestConfigNormalized(t *testing.T) {
+	c := Config{}.normalized()
+	if c.Gamma1 != DefaultGamma || c.Gamma2 != DefaultGamma {
+		t.Errorf("gammas = %g/%g", c.Gamma1, c.Gamma2)
+	}
+	if c.GammaMin != DefaultGammaMin || c.GammaMax != DefaultGammaMax {
+		t.Errorf("gamma bounds = %g/%g", c.GammaMin, c.GammaMax)
+	}
+	if c.GammaInit != DefaultGammaMax {
+		t.Errorf("gamma init = %g, want %g", c.GammaInit, float64(DefaultGammaMax))
+	}
+	if c.GammaStep != DefaultGammaStep || c.LinkGamma != DefaultLinkGamma {
+		t.Errorf("step/link = %g/%g", c.GammaStep, c.LinkGamma)
+	}
+	c = Config{Gamma1: 0.3}.normalized()
+	if c.Gamma2 != 0.3 {
+		t.Errorf("Gamma2 = %g, want to follow Gamma1", c.Gamma2)
+	}
+	// An inverted clamp collapses to the lower bound.
+	c = Config{GammaMin: 0.5, GammaMax: 0.2}.normalized()
+	if c.GammaMax != 0.5 {
+		t.Errorf("inverted clamp: max = %g, want 0.5", c.GammaMax)
+	}
+}

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/model"
+	"repro/internal/solver"
+	"repro/internal/utility"
+)
+
+// Rate allocation (Algorithm 1). Given populations n_j and prices, each
+// flow source maximizes the strictly concave objective of Equation 7,
+//
+//	phi(r) = sum_{j in C_i} n_j U_j(r) - r * P,   P = PL_i + PB_i,
+//
+// over [r^min, r^max]. The stationarity condition sum_j n_j U_j'(r) = P has
+// a closed form when the flow's classes share a utility family (the paper's
+// workloads always do); otherwise the engine bisects the strictly
+// decreasing marginal-utility sum.
+
+// rateFamily classifies a flow's classes for the closed-form fast path.
+type rateFamily int
+
+const (
+	// famGeneral uses bisection.
+	famGeneral rateFamily = iota + 1
+	// famLog: every class is utility.Log with a common Shift.
+	famLog
+	// famPower: every class is utility.Power with a common Exponent.
+	famPower
+)
+
+// rateSolver computes the Algorithm 1 rate for one flow.
+type rateSolver struct {
+	flow    model.Flow
+	classes []model.ClassID
+	// utilities[k] is the utility of classes[k].
+	utilities []utility.Function
+
+	family rateFamily
+	// shift is the common Log shift (famLog).
+	shift float64
+	// exponent is the common Power exponent (famPower).
+	exponent float64
+	// scales[k] is the rank/scale of classes[k] (famLog/famPower).
+	scales []float64
+}
+
+// newRateSolver inspects the classes of one flow and prepares the
+// appropriate solving strategy.
+func newRateSolver(p *model.Problem, ix *model.Index, fid model.FlowID) *rateSolver {
+	classIDs := ix.ClassesByFlow(fid)
+	rs := &rateSolver{
+		flow:      p.Flows[fid],
+		classes:   classIDs,
+		utilities: make([]utility.Function, len(classIDs)),
+		scales:    make([]float64, len(classIDs)),
+	}
+	for k, cid := range classIDs {
+		rs.utilities[k] = p.Classes[cid].Utility
+	}
+
+	rs.family = famGeneral
+	if len(classIDs) == 0 {
+		return rs
+	}
+	switch first := rs.utilities[0].(type) {
+	case utility.Log:
+		rs.family, rs.shift = famLog, first.Shift
+		for k, fn := range rs.utilities {
+			u, ok := fn.(utility.Log)
+			if !ok || u.Shift != first.Shift {
+				rs.family = famGeneral
+				break
+			}
+			rs.scales[k] = u.Scale
+		}
+	case utility.Power:
+		rs.family, rs.exponent = famPower, first.Exponent
+		for k, fn := range rs.utilities {
+			u, ok := fn.(utility.Power)
+			if !ok || u.Exponent != first.Exponent {
+				rs.family = famGeneral
+				break
+			}
+			rs.scales[k] = u.Scale
+		}
+	}
+	return rs
+}
+
+// solve returns the rate maximizing Equation 7 for the given populations
+// (indexed like the whole problem's class slice) and aggregate price P.
+func (rs *rateSolver) solve(consumers []int, price float64) float64 {
+	rmin, rmax := rs.flow.RateMin, rs.flow.RateMax
+
+	total := 0
+	for _, cid := range rs.classes {
+		total += consumers[cid]
+	}
+	if total == 0 {
+		// phi(r) = -r*P is maximized at the lowest allowed rate (P >= 0).
+		return rmin
+	}
+	if price <= 0 {
+		// No congestion anywhere on the path: utility is increasing in r.
+		return rmax
+	}
+
+	// Marginal utility at the bounds decides saturation.
+	if rs.marginal(consumers, rmin) <= price {
+		return rmin
+	}
+	if rs.marginal(consumers, rmax) >= price {
+		return rmax
+	}
+
+	switch rs.family {
+	case famLog:
+		// A/(shift+r) = P  =>  r = A/P - shift.
+		a := rs.weightedScale(consumers)
+		return clamp(a/price-rs.shift, rmin, rmax)
+	case famPower:
+		// A*k*r^(k-1) = P  =>  r = (P/(A*k))^(1/(k-1)).
+		a := rs.weightedScale(consumers)
+		r := math.Pow(price/(a*rs.exponent), 1/(rs.exponent-1))
+		return clamp(r, rmin, rmax)
+	default:
+		r, err := solver.Bisect(func(r float64) float64 {
+			return rs.marginal(consumers, r) - price
+		}, rmin, rmax, solver.Options{})
+		if err != nil {
+			// The bracketing checks above guarantee a sign change; this
+			// is unreachable, but degrade to the safe lower bound.
+			return rmin
+		}
+		return r
+	}
+}
+
+// marginal returns sum_j n_j U_j'(r).
+func (rs *rateSolver) marginal(consumers []int, r float64) float64 {
+	sum := 0.0
+	for k, cid := range rs.classes {
+		if n := consumers[cid]; n > 0 {
+			sum += float64(n) * rs.utilities[k].Deriv(r)
+		}
+	}
+	return sum
+}
+
+// weightedScale returns sum_j n_j scale_j for the homogeneous fast paths.
+func (rs *rateSolver) weightedScale(consumers []int) float64 {
+	a := 0.0
+	for k, cid := range rs.classes {
+		a += float64(consumers[cid]) * rs.scales[k]
+	}
+	return a
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

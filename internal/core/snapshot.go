@@ -1,0 +1,56 @@
+package core
+
+import "repro/internal/model"
+
+// Snapshot is a full diagnostic view of the engine's state at one
+// iteration, for observability tooling (lrgp-sim -verbose) and debugging.
+type Snapshot struct {
+	// Iteration is the number of completed iterations.
+	Iteration int
+	// Utility is the current objective value.
+	Utility float64
+	// Allocation holds the rates and populations.
+	Allocation model.Allocation
+	// NodePrices, LinkPrices and Gammas mirror the per-resource state.
+	NodePrices []float64
+	LinkPrices []float64
+	Gammas     []float64
+	// NodeUsage and NodeCapacity give each node's load; LinkUsage and
+	// LinkCapacity each link's.
+	NodeUsage    []float64
+	NodeCapacity []float64
+	LinkUsage    []float64
+	LinkCapacity []float64
+	// FlowActive marks flows participating in iterations.
+	FlowActive []bool
+}
+
+// Snapshot captures the engine's complete current state. All slices are
+// copies.
+func (e *Engine) Snapshot() Snapshot {
+	s := Snapshot{
+		Iteration:    e.iteration,
+		Utility:      e.Utility(),
+		Allocation:   e.Allocation(),
+		NodePrices:   e.NodePrices(),
+		LinkPrices:   e.LinkPrices(),
+		Gammas:       e.Gammas(),
+		NodeUsage:    make([]float64, len(e.p.Nodes)),
+		NodeCapacity: make([]float64, len(e.p.Nodes)),
+		LinkUsage:    make([]float64, len(e.p.Links)),
+		LinkCapacity: make([]float64, len(e.p.Links)),
+		FlowActive:   make([]bool, len(e.p.Flows)),
+	}
+	copy(s.FlowActive, e.active)
+
+	a := model.Allocation{Rates: e.rates, Consumers: e.consumers}
+	for b := range e.p.Nodes {
+		s.NodeUsage[b] = model.NodeUsage(e.p, e.ix, a, model.NodeID(b))
+		s.NodeCapacity[b] = e.p.Nodes[b].Capacity
+	}
+	for l := range e.p.Links {
+		s.LinkUsage[l] = model.LinkUsage(e.p, e.ix, a, model.LinkID(l))
+		s.LinkCapacity[l] = e.p.Links[l].Capacity
+	}
+	return s
+}

@@ -1,0 +1,46 @@
+package dist
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// BenchmarkSyncRoundMemory measures one synchronous LRGP round over the
+// in-memory transport on the base workload (9 agents + collector).
+func BenchmarkSyncRoundMemory(b *testing.B) {
+	net := transport.NewMemory()
+	defer net.Close()
+	cl, err := New(workload.Base(), Config{Core: core.Config{Adaptive: true}}, net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Run(1, time.Minute); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSyncRoundTCP measures the same round over loopback TCP with
+// JSON framing.
+func BenchmarkSyncRoundTCP(b *testing.B) {
+	net := transport.NewTCP()
+	defer net.Close()
+	cl, err := New(workload.Base(), Config{Core: core.Config{Adaptive: true}}, net)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cl.Close()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cl.Run(1, time.Minute); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

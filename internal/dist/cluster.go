@@ -1,0 +1,285 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/transport"
+)
+
+// Mode selects the execution style.
+type Mode int
+
+// Execution modes.
+const (
+	// Sync runs lock-step rounds (the paper's main formulation).
+	Sync Mode = iota + 1
+	// Async runs free-running agents on tickers with price averaging
+	// (Section 3.5).
+	Async
+)
+
+// Default async parameters.
+const (
+	DefaultTick        = 2 * time.Millisecond
+	DefaultPriceWindow = 3
+)
+
+// Config tunes a Cluster.
+type Config struct {
+	// Core carries the LRGP algorithm parameters.
+	Core core.Config
+	// Mode selects Sync (default) or Async execution.
+	Mode Mode
+	// Tick is the agent recompute interval in Async mode (default
+	// DefaultTick).
+	Tick time.Duration
+	// PriceWindow is how many recent prices a flow source averages per
+	// resource in Async mode (default DefaultPriceWindow; Sync always
+	// uses the latest price only).
+	PriceWindow int
+	// Multirate runs the multirate extension's algorithms at the agents
+	// (per-class delivery rates); see internal/multirate.
+	Multirate bool
+}
+
+func (c Config) normalized() Config {
+	c.Core = c.Core.WithDefaults()
+	if c.Mode == 0 {
+		c.Mode = Sync
+	}
+	if c.Tick <= 0 {
+		c.Tick = DefaultTick
+	}
+	if c.PriceWindow <= 0 {
+		c.PriceWindow = DefaultPriceWindow
+	}
+	if c.Mode == Sync {
+		c.PriceWindow = 1
+	}
+	return c
+}
+
+// RoundStats is the collector's view of one completed synchronous round
+// (or one asynchronous sample).
+type RoundStats struct {
+	// Round is the 1-based round number (sample number in Async mode).
+	Round int
+	// Utility is the global objective value.
+	Utility float64
+}
+
+// Cluster wires one agent per flow and per node over a transport network
+// and aggregates global state at a collector endpoint.
+type Cluster struct {
+	p   *model.Problem
+	cfg Config
+
+	flows []*flowAgent
+	nodes []*nodeAgent
+	ctrl  transport.Endpoint // for sending control messages
+	coll  *collector
+
+	mu      sync.Mutex
+	started bool
+	closed  bool
+	ran     int // highest round requested in sync mode
+}
+
+// New validates the problem and attaches all agents to the network. Agents
+// do not process rounds until Run (Sync) or Start (Async).
+func New(p *model.Problem, cfg Config, net transport.Network) (*Cluster, error) {
+	if err := model.Validate(p); err != nil {
+		return nil, fmt.Errorf("dist: %w", err)
+	}
+	c := cfg.normalized()
+	ix := model.NewIndex(p)
+
+	cl := &Cluster{p: p, cfg: c}
+
+	collEP, err := net.Endpoint(collectorName)
+	if err != nil {
+		return nil, fmt.Errorf("dist: collector endpoint: %w", err)
+	}
+	// Only nodes that see at least one flow (directly or via an owned
+	// link) ever compute and report; the collector must not wait for the
+	// silent ones.
+	reporting := 0
+	for b := range p.Nodes {
+		n := len(ix.FlowsByNode(model.NodeID(b)))
+		for l := range p.Links {
+			if p.Links[l].To == model.NodeID(b) {
+				n += len(ix.FlowsByLink(model.LinkID(l)))
+			}
+		}
+		if n > 0 {
+			reporting++
+		}
+	}
+	cl.coll = newCollector(p, collEP, reporting)
+
+	ctrlEP, err := net.Endpoint("cluster-ctrl")
+	if err != nil {
+		return nil, fmt.Errorf("dist: control endpoint: %w", err)
+	}
+	cl.ctrl = ctrlEP
+
+	for i := range p.Flows {
+		ep, err := net.Endpoint(flowName(model.FlowID(i)))
+		if err != nil {
+			return nil, fmt.Errorf("dist: flow %d endpoint: %w", i, err)
+		}
+		cl.flows = append(cl.flows, newFlowAgent(p, ix, model.FlowID(i), ep, c.Core, c.PriceWindow, c.Tick, c.Multirate))
+	}
+	for b := range p.Nodes {
+		ep, err := net.Endpoint(nodeName(model.NodeID(b)))
+		if err != nil {
+			return nil, fmt.Errorf("dist: node %d endpoint: %w", b, err)
+		}
+		cl.nodes = append(cl.nodes, newNodeAgent(p, ix, model.NodeID(b), ep, c.Core, c.Tick, c.Multirate))
+	}
+
+	// Launch all agents; in Sync mode flow agents idle until a RunUntil
+	// control arrives.
+	go cl.coll.run()
+	for _, fa := range cl.flows {
+		fa := fa
+		if c.Mode == Sync {
+			go fa.runSync()
+		} else {
+			go fa.runAsync()
+		}
+	}
+	for _, na := range cl.nodes {
+		na := na
+		if c.Mode == Sync {
+			go na.runSync()
+		} else {
+			go na.runAsync()
+		}
+	}
+	cl.started = true
+	return cl, nil
+}
+
+// ErrMode is returned when an operation does not apply to the cluster's
+// execution mode.
+var ErrMode = errors.New("dist: operation not valid in this mode")
+
+// Run advances a Sync cluster by `rounds` lock-step rounds and returns the
+// per-round global utilities observed by the collector.
+func (cl *Cluster) Run(rounds int, timeout time.Duration) ([]RoundStats, error) {
+	if cl.cfg.Mode != Sync {
+		return nil, ErrMode
+	}
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	cl.mu.Lock()
+	from := cl.ran + 1
+	cl.ran += rounds
+	until := cl.ran
+	cl.mu.Unlock()
+
+	for _, fa := range cl.flows {
+		msg, err := transport.Encode(cl.ctrl.Name(), fa.ep.Name(), ctrlKind, ctrlMsg{RunUntil: until})
+		if err != nil {
+			return nil, err
+		}
+		if err := cl.ctrl.Send(msg); err != nil {
+			return nil, fmt.Errorf("dist: run ctrl: %w", err)
+		}
+	}
+	if err := cl.coll.waitRound(until, timeout); err != nil {
+		return nil, err
+	}
+	return cl.coll.rounds(from, until), nil
+}
+
+// Sample returns the collector's current view of global utility, for Async
+// clusters.
+func (cl *Cluster) Sample() RoundStats {
+	return cl.coll.sample()
+}
+
+// RemoveFlow announces a flow's departure (the Figure 3 experiment). In
+// Sync mode the departure takes effect at the flow's next scheduled round;
+// callers must invoke it between Run calls. A removed flow's agent idles
+// and can rejoin via JoinFlow.
+func (cl *Cluster) RemoveFlow(i model.FlowID) error {
+	msg, err := transport.Encode(cl.ctrl.Name(), flowName(i), ctrlKind, ctrlMsg{Leave: true})
+	if err != nil {
+		return err
+	}
+	return cl.ctrl.Send(msg)
+}
+
+// JoinFlow re-activates a previously removed flow: its agent re-announces
+// itself and the node agents resume expecting it. Like RemoveFlow, it
+// must be invoked between Run calls in Sync mode (when no rounds are
+// pending anywhere).
+func (cl *Cluster) JoinFlow(i model.FlowID) error {
+	msg, err := transport.Encode(cl.ctrl.Name(), flowName(i), ctrlKind, ctrlMsg{Join: true})
+	if err != nil {
+		return err
+	}
+	return cl.ctrl.Send(msg)
+}
+
+// Allocation returns the collector's latest global allocation view.
+func (cl *Cluster) Allocation() model.Allocation {
+	return cl.coll.allocation()
+}
+
+// Close stops every agent. The underlying network is owned by the caller
+// and is not closed.
+func (cl *Cluster) Close() error {
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return nil
+	}
+	cl.closed = true
+	cl.mu.Unlock()
+
+	stop := ctrlMsg{Stop: true}
+	for _, fa := range cl.flows {
+		if msg, err := transport.Encode(cl.ctrl.Name(), fa.ep.Name(), ctrlKind, stop); err == nil {
+			_ = cl.ctrl.Send(msg)
+		}
+	}
+	for _, na := range cl.nodes {
+		if msg, err := transport.Encode(cl.ctrl.Name(), na.ep.Name(), ctrlKind, stop); err == nil {
+			_ = cl.ctrl.Send(msg)
+		}
+	}
+	if msg, err := transport.Encode(cl.ctrl.Name(), collectorName, ctrlKind, stop); err == nil {
+		_ = cl.ctrl.Send(msg)
+	}
+
+	deadline := time.After(5 * time.Second)
+	for _, fa := range cl.flows {
+		select {
+		case <-fa.done:
+		case <-deadline:
+			return errors.New("dist: timeout stopping flow agents")
+		}
+	}
+	for _, na := range cl.nodes {
+		select {
+		case <-na.done:
+		case <-deadline:
+			return errors.New("dist: timeout stopping node agents")
+		}
+	}
+	select {
+	case <-cl.coll.done:
+	case <-deadline:
+		return errors.New("dist: timeout stopping collector")
+	}
+	return nil
+}

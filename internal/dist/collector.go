@@ -1,0 +1,281 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/transport"
+)
+
+// collector aggregates rate announcements and node reports into a global
+// view: per-round utilities in Sync mode, latest-state utility samples in
+// Async mode.
+type collector struct {
+	p  *model.Problem
+	ep transport.Endpoint
+
+	mu sync.Mutex
+	// latest state (both modes). deliveries[j] < 0 means "no per-class
+	// delivery reported": the class receives at its flow's rate.
+	rates      []float64
+	consumers  []int
+	deliveries []float64
+	active     []bool
+	// sync-mode round assembly.
+	roundRates   map[int]map[model.FlowID]float64
+	roundPops    map[int]map[model.ClassID]int
+	roundDel     map[int]map[model.ClassID]float64
+	rateSeen     map[int]int
+	reportSeen   map[int]int
+	nodesTotal   int
+	stats        []RoundStats
+	nextComplete int
+	waiters      []roundWaiter
+	samples      int
+
+	done chan struct{}
+}
+
+type roundWaiter struct {
+	round int
+	ch    chan struct{}
+}
+
+// newCollector builds the collector. nodesTotal must be the number of
+// node agents that actually report each round: nodes reached by at least
+// one flow or owning at least one link with flows (a node with neither
+// never computes).
+func newCollector(p *model.Problem, ep transport.Endpoint, nodesTotal int) *collector {
+	c := &collector{
+		p:            p,
+		ep:           ep,
+		rates:        make([]float64, len(p.Flows)),
+		consumers:    make([]int, len(p.Classes)),
+		deliveries:   make([]float64, len(p.Classes)),
+		active:       make([]bool, len(p.Flows)),
+		roundRates:   make(map[int]map[model.FlowID]float64),
+		roundPops:    make(map[int]map[model.ClassID]int),
+		roundDel:     make(map[int]map[model.ClassID]float64),
+		rateSeen:     make(map[int]int),
+		reportSeen:   make(map[int]int),
+		nodesTotal:   nodesTotal,
+		nextComplete: 1,
+		done:         make(chan struct{}),
+	}
+	for i := range c.active {
+		c.active[i] = true
+	}
+	for j := range c.deliveries {
+		c.deliveries[j] = -1
+	}
+	return c
+}
+
+func (c *collector) run() {
+	defer close(c.done)
+	for m := range c.ep.Recv() {
+		switch m.Kind {
+		case ctrlKind:
+			var cm ctrlMsg
+			if err := transport.Decode(m, &cm); err != nil {
+				continue
+			}
+			if cm.Stop {
+				return
+			}
+		case rateKind:
+			var rm rateMsg
+			if err := transport.Decode(m, &rm); err != nil {
+				continue
+			}
+			c.absorbRate(rm)
+		case reportKind:
+			var rm reportMsg
+			if err := transport.Decode(m, &rm); err != nil {
+				continue
+			}
+			c.absorbReport(rm)
+		}
+	}
+}
+
+func (c *collector) absorbRate(rm rateMsg) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !rm.Active {
+		c.active[rm.Flow] = false
+		c.rates[rm.Flow] = 0
+		for j := range c.p.Classes {
+			if c.p.Classes[j].Flow == rm.Flow {
+				c.consumers[j] = 0
+			}
+		}
+		c.completeRoundsLocked()
+		return
+	}
+	c.active[rm.Flow] = true // a rejoining flow becomes active again
+	c.rates[rm.Flow] = rm.Rate
+	if c.roundRates[rm.Round] == nil {
+		c.roundRates[rm.Round] = make(map[model.FlowID]float64)
+	}
+	c.roundRates[rm.Round][rm.Flow] = rm.Rate
+	c.completeRoundsLocked()
+}
+
+func (c *collector) absorbReport(rm reportMsg) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for cid, n := range rm.Populations {
+		c.consumers[cid] = n
+	}
+	if c.roundPops[rm.Round] == nil {
+		c.roundPops[rm.Round] = make(map[model.ClassID]int)
+	}
+	for cid, n := range rm.Populations {
+		c.roundPops[rm.Round][cid] = n
+	}
+	if len(rm.Deliveries) > 0 {
+		if c.roundDel[rm.Round] == nil {
+			c.roundDel[rm.Round] = make(map[model.ClassID]float64)
+		}
+		for cid, d := range rm.Deliveries {
+			c.deliveries[cid] = d
+			c.roundDel[rm.Round][cid] = d
+		}
+	}
+	c.reportSeen[rm.Round]++
+	c.completeRoundsLocked()
+}
+
+// completeRoundsLocked finalizes rounds in order once all active flows'
+// rates and all node reports have arrived.
+func (c *collector) completeRoundsLocked() {
+	for {
+		round := c.nextComplete
+		activeFlows := 0
+		for i := range c.active {
+			if c.active[i] {
+				activeFlows++
+			}
+		}
+		if activeFlows == 0 {
+			return
+		}
+		gotRates := 0
+		for i := range c.roundRates[round] {
+			if c.active[i] {
+				gotRates++
+			}
+		}
+		if gotRates < activeFlows || c.reportSeen[round] < c.nodesTotal {
+			return
+		}
+
+		// Utility of the completed round, from the round's own rates,
+		// populations and (in multirate mode) per-class deliveries;
+		// inactive flows contribute nothing.
+		util := 0.0
+		rates := c.roundRates[round]
+		pops := c.roundPops[round]
+		dels := c.roundDel[round]
+		for j := range c.p.Classes {
+			cl := &c.p.Classes[j]
+			n, ok := pops[model.ClassID(j)]
+			if !ok || n == 0 || !c.active[cl.Flow] {
+				continue
+			}
+			rate := rates[cl.Flow]
+			if d, ok := dels[model.ClassID(j)]; ok {
+				rate = d
+			}
+			util += float64(n) * cl.Utility.Value(rate)
+		}
+		c.stats = append(c.stats, RoundStats{Round: round, Utility: util})
+		delete(c.roundRates, round)
+		delete(c.roundPops, round)
+		delete(c.roundDel, round)
+		delete(c.reportSeen, round)
+		delete(c.rateSeen, round)
+		c.nextComplete++
+
+		var still []roundWaiter
+		for _, w := range c.waiters {
+			if round >= w.round {
+				close(w.ch)
+			} else {
+				still = append(still, w)
+			}
+		}
+		c.waiters = still
+	}
+}
+
+// waitRound blocks until the given round has been finalized.
+func (c *collector) waitRound(round int, timeout time.Duration) error {
+	c.mu.Lock()
+	if c.nextComplete > round {
+		c.mu.Unlock()
+		return nil
+	}
+	w := roundWaiter{round: round, ch: make(chan struct{})}
+	c.waiters = append(c.waiters, w)
+	c.mu.Unlock()
+
+	select {
+	case <-w.ch:
+		return nil
+	case <-c.done:
+		return fmt.Errorf("dist: collector stopped before round %d", round)
+	case <-time.After(timeout):
+		return fmt.Errorf("dist: timeout waiting for round %d", round)
+	}
+}
+
+// rounds returns the finalized stats for rounds [from, to].
+func (c *collector) rounds(from, to int) []RoundStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []RoundStats
+	for _, s := range c.stats {
+		if s.Round >= from && s.Round <= to {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// sample computes utility from the latest absorbed state (Async mode).
+func (c *collector) sample() RoundStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	util := 0.0
+	for j := range c.p.Classes {
+		cl := &c.p.Classes[j]
+		n := c.consumers[j]
+		if n == 0 || !c.active[cl.Flow] {
+			continue
+		}
+		rate := c.rates[cl.Flow]
+		if c.deliveries[j] >= 0 {
+			rate = c.deliveries[j]
+		}
+		util += float64(n) * cl.Utility.Value(rate)
+	}
+	c.samples++
+	return RoundStats{Round: c.samples, Utility: util}
+}
+
+// allocation snapshots the latest global allocation.
+func (c *collector) allocation() model.Allocation {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	a := model.Allocation{
+		Rates:     make([]float64, len(c.rates)),
+		Consumers: make([]int, len(c.consumers)),
+	}
+	copy(a.Rates, c.rates)
+	copy(a.Consumers, c.consumers)
+	return a
+}

@@ -1,0 +1,141 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// TestAsyncToleratesMessageLoss drops 10% of all messages: the paper's
+// Section 3.5 asynchronous formulation (free-running agents with price
+// averaging) must still reach the synchronous optimum, because agents use
+// the latest values they have rather than blocking on a full round.
+func TestAsyncToleratesMessageLoss(t *testing.T) {
+	p := workload.Base()
+
+	ref, err := core.NewEngine(p.Clone(), core.Config{Adaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Solve(400).Utility
+
+	net := transport.NewMemory()
+	defer net.Close()
+	net.SetDropRate(0.10, 42)
+
+	cl, err := New(p, Config{
+		Core: core.Config{Adaptive: true},
+		Mode: Async,
+		Tick: time.Millisecond,
+	}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	deadline := time.After(30 * time.Second)
+	inBand := 0
+	for {
+		select {
+		case <-deadline:
+			t.Fatalf("did not converge under 10%% loss; last %.0f vs %.0f", cl.Sample().Utility, want)
+		default:
+		}
+		s := cl.Sample()
+		if math.Abs(s.Utility-want)/want < 0.03 {
+			inBand++
+		} else {
+			inBand = 0
+		}
+		if inBand >= 10 {
+			// Held within 3% of the lossless optimum.
+			if dropped := net.NetStats().Dropped; dropped == 0 {
+				t.Error("fault injection inactive: nothing was dropped")
+			}
+			return
+		}
+		time.Sleep(3 * time.Millisecond)
+	}
+}
+
+// TestAsyncSurvivesTransientPartition cuts one node agent off from the
+// rest mid-run and heals it; the system must re-stabilize.
+func TestAsyncSurvivesTransientPartition(t *testing.T) {
+	p := workload.Base()
+	net := transport.NewMemory()
+	defer net.Close()
+	cl, err := New(p, Config{
+		Core: core.Config{Adaptive: true},
+		Mode: Async,
+		Tick: time.Millisecond,
+	}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	waitStable := func(tag string, tol float64) float64 {
+		det := metrics.NewConvergenceDetector(10, tol)
+		deadline := time.After(20 * time.Second)
+		for {
+			select {
+			case <-deadline:
+				t.Fatalf("%s: did not stabilize; last %.0f", tag, cl.Sample().Utility)
+			default:
+			}
+			s := cl.Sample()
+			if det.Observe(s.Utility) && s.Utility > 0 {
+				return s.Utility
+			}
+			time.Sleep(3 * time.Millisecond)
+		}
+	}
+
+	before := waitStable("pre-partition", 0.05)
+
+	// Cut node/1 off for a while. Its flows stop hearing its price; the
+	// collector keeps the last reported populations.
+	net.SetPartition(nodeName(1), 9)
+	time.Sleep(100 * time.Millisecond)
+	net.ClearPartitions()
+
+	after := waitStable("post-heal", 0.05)
+	if rel := math.Abs(after-before) / before; rel > 0.05 {
+		t.Errorf("post-heal utility %.0f deviates %.1f%% from pre-partition %.0f", after, rel*100, before)
+	}
+}
+
+// TestMemoryMeterCountsClusterTraffic sanity-checks the transport meter
+// against a known round structure: every synchronous round moves at least
+// one message per flow and per node.
+func TestMemoryMeterCountsClusterTraffic(t *testing.T) {
+	p := workload.Base()
+	net := transport.NewMemory()
+	defer net.Close()
+	cl, err := New(p, Config{Core: core.Config{Adaptive: true}}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	const rounds = 10
+	if _, err := cl.Run(rounds, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	stats := net.NetStats()
+	minPerRound := uint64(len(p.Flows) + len(p.Nodes))
+	if stats.Delivered < rounds*minPerRound {
+		t.Errorf("delivered %d messages over %d rounds, want >= %d", stats.Delivered, rounds, rounds*minPerRound)
+	}
+	if stats.Bytes == 0 {
+		t.Error("byte counter did not advance")
+	}
+	if stats.Dropped != 0 {
+		t.Errorf("dropped %d without fault injection", stats.Dropped)
+	}
+}

@@ -1,0 +1,363 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/multirate"
+	"repro/internal/transport"
+)
+
+// flowAgent runs Algorithm 1 for one flow at its source node (or, in
+// multirate mode, the capped-classes source-rate solver).
+type flowAgent struct {
+	p    *model.Problem
+	flow model.FlowID
+	ep   transport.Endpoint
+	ra   *core.RateAllocator
+	// mr is non-nil in multirate mode and replaces ra.
+	mr *multirate.SourceRateSolver
+
+	// Static path structure.
+	nodes      []model.NodeID // B_i
+	nodeCoefF  map[model.NodeID]float64
+	classNode  map[model.ClassID]model.NodeID
+	classCost  map[model.ClassID]float64 // G_{b,j}
+	links      []model.LinkID            // L_i
+	linkCoef   map[model.LinkID]float64
+	linkOwner  map[model.LinkID]model.NodeID
+	peerNames  []string // node agents to exchange with (deduped)
+	peerCount  int
+	priceAvgWn int // async price-averaging window (>=1)
+
+	// Dynamic state.
+	consumers []int
+	nodePrice map[model.NodeID]*priceWindow
+	linkPrice map[model.LinkID]*priceWindow
+	round     int
+	runUntil  int
+	leaving   bool
+	idle      bool          // departed but able to rejoin
+	tickEvery time.Duration // async mode when > 0
+
+	done chan struct{}
+}
+
+// priceWindow keeps the last w prices from one resource and serves their
+// average (Section 3.5's asynchronous smoothing; w=1 reduces to "latest").
+type priceWindow struct {
+	vals []float64
+	next int
+	n    int
+}
+
+func newPriceWindow(w int) *priceWindow {
+	if w < 1 {
+		w = 1
+	}
+	return &priceWindow{vals: make([]float64, w)}
+}
+
+func (pw *priceWindow) push(v float64) {
+	pw.vals[pw.next] = v
+	pw.next = (pw.next + 1) % len(pw.vals)
+	if pw.n < len(pw.vals) {
+		pw.n++
+	}
+}
+
+func (pw *priceWindow) avg() float64 {
+	if pw.n == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := 0; i < pw.n; i++ {
+		sum += pw.vals[i]
+	}
+	return sum / float64(pw.n)
+}
+
+func newFlowAgent(p *model.Problem, ix *model.Index, fid model.FlowID, ep transport.Endpoint, cfg core.Config, window int, tick time.Duration, multirateMode bool) *flowAgent {
+	fa := &flowAgent{
+		p:          p,
+		flow:       fid,
+		ep:         ep,
+		ra:         core.NewRateAllocator(p, ix, fid),
+		nodeCoefF:  make(map[model.NodeID]float64),
+		classNode:  make(map[model.ClassID]model.NodeID),
+		classCost:  make(map[model.ClassID]float64),
+		linkCoef:   make(map[model.LinkID]float64),
+		linkOwner:  make(map[model.LinkID]model.NodeID),
+		consumers:  make([]int, len(p.Classes)),
+		nodePrice:  make(map[model.NodeID]*priceWindow),
+		linkPrice:  make(map[model.LinkID]*priceWindow),
+		priceAvgWn: window,
+		round:      1,
+		tickEvery:  tick,
+		done:       make(chan struct{}),
+	}
+	peers := make(map[string]bool)
+	for _, b := range ix.NodesByFlow(fid) {
+		fa.nodes = append(fa.nodes, b)
+		fa.nodeCoefF[b] = p.Nodes[b].FlowCost[fid]
+		fa.nodePrice[b] = newPriceWindow(window)
+		fa.nodePrice[b].push(cfg.InitialNodePrice)
+		peers[nodeName(b)] = true
+	}
+	for _, cid := range ix.ClassesByFlow(fid) {
+		c := &p.Classes[cid]
+		fa.classNode[cid] = c.Node
+		fa.classCost[cid] = c.CostPerConsumer
+	}
+	for _, l := range ix.LinksByFlow(fid) {
+		fa.links = append(fa.links, l)
+		fa.linkCoef[l] = p.Links[l].FlowCost[fid]
+		fa.linkOwner[l] = p.Links[l].To
+		fa.linkPrice[l] = newPriceWindow(window)
+		fa.linkPrice[l].push(cfg.InitialLinkPrice)
+		peers[nodeName(p.Links[l].To)] = true
+	}
+	for name := range peers {
+		fa.peerNames = append(fa.peerNames, name)
+	}
+	fa.peerCount = len(fa.peerNames)
+	if multirateMode {
+		fa.mr = multirate.NewSourceRateSolver(p, ix, fid)
+	}
+	return fa
+}
+
+// computeRate runs the mode-appropriate source-rate allocation from the
+// agent's absorbed state.
+func (fa *flowAgent) computeRate() float64 {
+	if fa.mr == nil {
+		return fa.ra.Rate(fa.consumers, fa.pathPrice())
+	}
+	// Multirate: consumer-independent path price, plus locally computed
+	// desired deliveries from each class's node price.
+	price := 0.0
+	for _, l := range fa.links {
+		price += fa.linkCoef[l] * fa.linkPrice[l].avg()
+	}
+	for _, b := range fa.nodes {
+		price += fa.nodeCoefF[b] * fa.nodePrice[b].avg()
+	}
+	desired := make([]float64, len(fa.p.Classes))
+	f := fa.p.Flows[fa.flow]
+	for cid, node := range fa.classNode {
+		u := fa.p.Classes[cid].Utility
+		desired[cid] = multirate.DesiredDelivery(u, fa.classCost[cid]*fa.nodePrice[node].avg(), f.RateMin, f.RateMax)
+	}
+	return fa.mr.Rate(fa.consumers, desired, price)
+}
+
+// pathPrice computes PL_i + PB_i (Equations 8 and 9) from the current
+// (averaged) prices and populations.
+func (fa *flowAgent) pathPrice() float64 {
+	price := 0.0
+	for _, l := range fa.links {
+		price += fa.linkCoef[l] * fa.linkPrice[l].avg()
+	}
+	for _, b := range fa.nodes {
+		coeff := fa.nodeCoefF[b]
+		for cid, node := range fa.classNode {
+			if node == b {
+				coeff += fa.classCost[cid] * float64(fa.consumers[cid])
+			}
+		}
+		price += coeff * fa.nodePrice[b].avg()
+	}
+	return price
+}
+
+// absorbReport folds a node report into local state.
+func (fa *flowAgent) absorbReport(rm reportMsg) {
+	if pw, ok := fa.nodePrice[rm.Node]; ok {
+		pw.push(rm.Price)
+	}
+	for cid, n := range rm.Populations {
+		if _, mine := fa.classNode[cid]; mine {
+			fa.consumers[cid] = n
+		}
+	}
+	for lid, pr := range rm.LinkPrices {
+		if pw, ok := fa.linkPrice[lid]; ok {
+			pw.push(pr)
+		}
+	}
+}
+
+// announce sends the flow's rate for the given round to every peer node
+// agent and the collector. Lossy-transport failures (drops, partitions)
+// are tolerated — the asynchronous mode is designed for them, and in the
+// synchronous mode the transports are lossless; only a closed transport
+// is fatal.
+func (fa *flowAgent) announce(round int, rate float64, active bool) error {
+	body := rateMsg{Round: round, Flow: fa.flow, Rate: rate, Active: active}
+	for _, peer := range fa.peerNames {
+		msg, err := transport.Encode(fa.ep.Name(), peer, rateKind, body)
+		if err != nil {
+			return err
+		}
+		if err := fa.ep.Send(msg); errors.Is(err, transport.ErrClosed) {
+			return fmt.Errorf("dist: flow %d announce to %s: %w", fa.flow, peer, err)
+		}
+	}
+	msg, err := transport.Encode(fa.ep.Name(), collectorName, rateKind, body)
+	if err != nil {
+		return err
+	}
+	if err := fa.ep.Send(msg); errors.Is(err, transport.ErrClosed) {
+		return err
+	}
+	return nil
+}
+
+// runSync is the synchronous round loop. It blocks until a Stop control or
+// transport shutdown. A Leave control makes the agent announce departure
+// and idle; a later Join control re-announces it at the cluster's current
+// round (the cluster calls both only between Run invocations).
+func (fa *flowAgent) runSync() {
+	defer close(fa.done)
+	reportsSeen := make(map[int]map[model.NodeID]bool)
+
+	for {
+		// Process a pending departure.
+		if fa.leaving {
+			fa.leaving = false
+			if !fa.idle {
+				_ = fa.announce(fa.round, 0, false)
+				fa.idle = true
+			}
+		}
+
+		// Pause until allowed to run this round, or idle until Join.
+		for fa.runUntil < fa.round || fa.idle {
+			if !fa.handleOne(nil) {
+				return
+			}
+			if fa.idle {
+				// Track the cluster's round counter passively so a later
+				// Join resumes at the right round.
+				if fa.round <= fa.runUntil {
+					fa.round = fa.runUntil + 1
+				}
+				continue
+			}
+			if fa.leaving {
+				fa.leaving = false
+				_ = fa.announce(fa.round, 0, false)
+				fa.idle = true
+			}
+		}
+
+		if err := fa.announce(fa.round, fa.computeRate(), true); err != nil {
+			return
+		}
+
+		// Await this round's reports from every peer node. A Leave
+		// arriving mid-round finishes the handshake first so peers are
+		// not left waiting.
+		for len(reportsSeen[fa.round]) < fa.peerCount {
+			if !fa.handleOne(reportsSeen) {
+				return
+			}
+		}
+		delete(reportsSeen, fa.round)
+		fa.round++
+	}
+}
+
+// handleOne processes a single inbound message, returning false on
+// shutdown. When seen is non-nil, node reports are tallied per round.
+func (fa *flowAgent) handleOne(seen map[int]map[model.NodeID]bool) bool {
+	m, ok := <-fa.ep.Recv()
+	if !ok {
+		return false
+	}
+	switch m.Kind {
+	case ctrlKind:
+		var cm ctrlMsg
+		if err := transport.Decode(m, &cm); err != nil {
+			return true
+		}
+		if cm.Stop {
+			return false
+		}
+		if cm.Leave && !fa.idle {
+			fa.leaving = true
+		}
+		if cm.Join && fa.idle {
+			fa.idle = false
+			if fa.round <= fa.runUntil {
+				fa.round = fa.runUntil + 1
+			}
+		}
+		if cm.RunUntil > fa.runUntil {
+			fa.runUntil = cm.RunUntil
+		}
+	case reportKind:
+		var rm reportMsg
+		if err := transport.Decode(m, &rm); err != nil {
+			return true
+		}
+		fa.absorbReport(rm)
+		if seen != nil {
+			if seen[rm.Round] == nil {
+				seen[rm.Round] = make(map[model.NodeID]bool)
+			}
+			seen[rm.Round][rm.Node] = true
+		}
+	}
+	return true
+}
+
+// runAsync ticks on a timer, announcing rates computed from the latest
+// absorbed reports.
+func (fa *flowAgent) runAsync() {
+	defer close(fa.done)
+	ticker := time.NewTicker(fa.tickEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case m, ok := <-fa.ep.Recv():
+			if !ok {
+				return
+			}
+			switch m.Kind {
+			case ctrlKind:
+				var cm ctrlMsg
+				if err := transport.Decode(m, &cm); err != nil {
+					continue
+				}
+				if cm.Stop {
+					return
+				}
+				if cm.Leave && !fa.idle {
+					_ = fa.announce(fa.round, 0, false)
+					fa.idle = true
+				}
+				if cm.Join {
+					fa.idle = false
+				}
+			case reportKind:
+				var rm reportMsg
+				if err := transport.Decode(m, &rm); err != nil {
+					continue
+				}
+				fa.absorbReport(rm)
+			}
+		case <-ticker.C:
+			if fa.idle {
+				continue
+			}
+			if err := fa.announce(fa.round, fa.computeRate(), true); err != nil {
+				return
+			}
+			fa.round++
+		}
+	}
+}

@@ -1,0 +1,104 @@
+// Package dist runs LRGP as a distributed system: one agent per flow
+// source (Algorithm 1) and one agent per node (Algorithms 2 and 3, plus
+// link-price computation for the links it owns), exchanging messages over a
+// transport.Network. A collector endpoint aggregates per-round state so
+// callers can observe the global utility the same way the paper's
+// simulations do.
+//
+// Two execution modes are provided:
+//
+//   - Synchronous (the paper's main formulation): agents proceed in
+//     lock-step rounds, each waiting for the full set of round-t inputs
+//     before computing round t (or t+1) outputs.
+//   - Asynchronous (Section 3.5): agents run on independent tickers using
+//     the latest values received, with flow sources averaging the last few
+//     prices from each resource to tolerate missing or stale updates.
+package dist
+
+import (
+	"repro/internal/model"
+)
+
+// Endpoint naming scheme.
+const (
+	collectorName = "collector"
+	ctrlKind      = "ctrl"
+	rateKind      = "rate"
+	reportKind    = "report"
+)
+
+func flowName(i model.FlowID) string {
+	return "flow/" + itoa(int(i))
+}
+
+func nodeName(b model.NodeID) string {
+	return "node/" + itoa(int(b))
+}
+
+func itoa(v int) string {
+	// Tiny strconv.Itoa clone to keep the hot path allocation-free for
+	// small ids is unnecessary; use the simple formulation.
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// rateMsg announces a flow's rate for one round (flow agent -> node agents
+// and collector).
+type rateMsg struct {
+	Round int          `json:"round"`
+	Flow  model.FlowID `json:"flow"`
+	Rate  float64      `json:"rate"`
+	// Active false announces the flow's departure: this is the flow's
+	// final message, and receivers must stop expecting it afterwards.
+	Active bool `json:"active"`
+}
+
+// reportMsg carries a node's consumer allocation and prices for one round
+// (node agent -> flow agents and collector).
+type reportMsg struct {
+	Round int          `json:"round"`
+	Node  model.NodeID `json:"node"`
+	Price float64      `json:"price"`
+	// Populations holds n_j for the classes attached at this node.
+	Populations map[model.ClassID]int `json:"populations,omitempty"`
+	// Deliveries holds d_j for the classes attached at this node
+	// (multirate mode only; absent in single-rate mode, where d_j = r_i).
+	Deliveries map[model.ClassID]float64 `json:"deliveries,omitempty"`
+	// LinkPrices holds the prices of the links this node owns (links
+	// whose To endpoint is this node).
+	LinkPrices map[model.LinkID]float64 `json:"linkPrices,omitempty"`
+	// Used and BestBC expose the Equation 12 inputs for observability.
+	Used   float64 `json:"used"`
+	BestBC float64 `json:"bestBC"`
+}
+
+// ctrlMsg drives agents from the cluster.
+type ctrlMsg struct {
+	// RunUntil lets a synchronous flow agent advance up to (and
+	// including) the given round, then pause.
+	RunUntil int `json:"runUntil,omitempty"`
+	// Leave tells a flow agent to announce departure and idle (it can
+	// rejoin later).
+	Leave bool `json:"leave,omitempty"`
+	// Join tells an idled flow agent to re-announce itself and resume.
+	Join bool `json:"join,omitempty"`
+	// Stop tells any agent to exit immediately.
+	Stop bool `json:"stop,omitempty"`
+}

@@ -1,0 +1,327 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/multirate"
+	"repro/internal/transport"
+)
+
+// nodeAgent runs Algorithm 2 (greedy consumer allocation plus the Equation
+// 12 price update) for one node, and Algorithm 3 (Equation 13) for the
+// links it owns (links whose To endpoint is this node, per the paper's
+// footnote that one of the two endpoint nodes computes a link's price).
+type nodeAgent struct {
+	p    *model.Problem
+	node model.NodeID
+	ep   transport.Endpoint
+	cfg  core.Config
+
+	alloc *core.NodeAllocator
+	gamma *core.AdaptiveGamma
+	// mrAlloc is non-nil in multirate mode and replaces alloc; deliveries
+	// buffers the per-class delivery rates it computes.
+	mrAlloc    *multirate.NodeAllocator
+	deliveries []float64
+
+	// classes attached at this node.
+	classes []model.ClassID
+	// ownedLinks and their static flow coefficients.
+	ownedLinks []model.LinkID
+	linkFlows  map[model.LinkID][]model.FlowID
+
+	// expected is the set of flows whose rates this agent needs each
+	// round: flows through the node plus flows of owned links.
+	expected map[model.FlowID]bool
+	// peers maps each expected flow to its agent endpoint name.
+	peers map[model.FlowID]string
+
+	// Dynamic state.
+	rates      []float64
+	consumers  []int
+	price      float64
+	linkPrices map[model.LinkID]float64
+	inactive   map[model.FlowID]bool
+	tickEvery  time.Duration
+
+	done chan struct{}
+}
+
+func newNodeAgent(p *model.Problem, ix *model.Index, b model.NodeID, ep transport.Endpoint, cfg core.Config, tick time.Duration, multirateMode bool) *nodeAgent {
+	na := &nodeAgent{
+		p:          p,
+		node:       b,
+		ep:         ep,
+		cfg:        cfg,
+		alloc:      core.NewNodeAllocator(p, ix, b),
+		gamma:      core.NewAdaptiveGamma(cfg),
+		classes:    ix.ClassesByNode(b),
+		linkFlows:  make(map[model.LinkID][]model.FlowID),
+		expected:   make(map[model.FlowID]bool),
+		peers:      make(map[model.FlowID]string),
+		rates:      make([]float64, len(p.Flows)),
+		consumers:  make([]int, len(p.Classes)),
+		price:      cfg.InitialNodePrice,
+		linkPrices: make(map[model.LinkID]float64),
+		inactive:   make(map[model.FlowID]bool),
+		tickEvery:  tick,
+		done:       make(chan struct{}),
+	}
+	for _, i := range ix.FlowsByNode(b) {
+		na.expected[i] = true
+		na.peers[i] = flowName(i)
+	}
+	for l := range p.Links {
+		if p.Links[l].To != b {
+			continue
+		}
+		lid := model.LinkID(l)
+		na.ownedLinks = append(na.ownedLinks, lid)
+		na.linkPrices[lid] = cfg.InitialLinkPrice
+		for _, i := range ix.FlowsByLink(lid) {
+			na.linkFlows[lid] = append(na.linkFlows[lid], i)
+			na.expected[i] = true
+			na.peers[i] = flowName(i)
+		}
+	}
+	if multirateMode {
+		na.mrAlloc = multirate.NewNodeAllocator(p, ix, b)
+		na.deliveries = make([]float64, len(p.Classes))
+	}
+	return na
+}
+
+// compute runs one allocation + price update from the current rates and
+// returns the report to broadcast.
+func (na *nodeAgent) compute(round int) reportMsg {
+	var out core.NodeAllocation
+	if na.mrAlloc != nil {
+		mrOut := na.mrAlloc.Allocate(na.rates, na.price, na.consumers, na.deliveries)
+		out = core.NodeAllocation{Used: mrOut.Used, BestUnsatisfied: mrOut.BestUnsatisfied}
+	} else {
+		out = na.alloc.Allocate(na.rates, na.consumers)
+	}
+
+	gamma1, gamma2 := na.cfg.Gamma1, na.cfg.Gamma2
+	if na.cfg.Adaptive {
+		gamma1 = na.gamma.Value()
+		gamma2 = gamma1
+	}
+	prev := na.price
+	capacity := na.p.Nodes[na.node].Capacity
+	na.price = core.NodePriceStep(prev, out.BestUnsatisfied, out.Used, capacity, gamma1, gamma2)
+	if na.cfg.Adaptive {
+		na.gamma.Observe(core.PriceGap(prev, out.BestUnsatisfied, out.Used, capacity), prev)
+	}
+
+	rm := reportMsg{
+		Round:  round,
+		Node:   na.node,
+		Price:  na.price,
+		Used:   out.Used,
+		BestBC: out.BestUnsatisfied,
+	}
+	if len(na.classes) > 0 {
+		rm.Populations = make(map[model.ClassID]int, len(na.classes))
+		for _, cid := range na.classes {
+			rm.Populations[cid] = na.consumers[cid]
+		}
+		if na.mrAlloc != nil {
+			rm.Deliveries = make(map[model.ClassID]float64, len(na.classes))
+			for _, cid := range na.classes {
+				rm.Deliveries[cid] = na.deliveries[cid]
+			}
+		}
+	}
+	if len(na.ownedLinks) > 0 {
+		rm.LinkPrices = make(map[model.LinkID]float64, len(na.ownedLinks))
+		for _, lid := range na.ownedLinks {
+			used := 0.0
+			for _, i := range na.linkFlows[lid] {
+				used += na.p.Links[lid].FlowCost[i] * na.rates[i]
+			}
+			na.linkPrices[lid] = core.LinkPriceStep(na.linkPrices[lid], used, na.p.Links[lid].Capacity, na.cfg.LinkGamma)
+			rm.LinkPrices[lid] = na.linkPrices[lid]
+		}
+	}
+	return rm
+}
+
+// broadcast sends a report to every (still expected) flow agent and the
+// collector. As in flowAgent.announce, only a closed transport is fatal;
+// lossy-delivery failures are tolerated.
+func (na *nodeAgent) broadcast(rm reportMsg) error {
+	for i, peer := range na.peers {
+		if na.inactive[i] {
+			continue
+		}
+		msg, err := transport.Encode(na.ep.Name(), peer, reportKind, rm)
+		if err != nil {
+			return err
+		}
+		if err := na.ep.Send(msg); errors.Is(err, transport.ErrClosed) {
+			return fmt.Errorf("dist: node %d report to %s: %w", na.node, peer, err)
+		}
+	}
+	msg, err := transport.Encode(na.ep.Name(), collectorName, reportKind, rm)
+	if err != nil {
+		return err
+	}
+	if err := na.ep.Send(msg); errors.Is(err, transport.ErrClosed) {
+		return err
+	}
+	return nil
+}
+
+// markInactive processes a flow departure.
+func (na *nodeAgent) markInactive(i model.FlowID) {
+	na.inactive[i] = true
+	na.rates[i] = 0
+	na.alloc.SetFlowActive(i, false)
+	if na.mrAlloc != nil {
+		na.mrAlloc.SetFlowActive(i, false)
+	}
+}
+
+// markActive processes a flow (re)join.
+func (na *nodeAgent) markActive(i model.FlowID) {
+	na.inactive[i] = false
+	na.alloc.SetFlowActive(i, true)
+	if na.mrAlloc != nil {
+		na.mrAlloc.SetFlowActive(i, true)
+	}
+}
+
+// activeCount returns how many expected flows are still active.
+func (na *nodeAgent) activeCount() int {
+	n := 0
+	for i := range na.expected {
+		if !na.inactive[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// runSync reacts to rate announcements in lock-step rounds: once all
+// active expected flows have announced round t, it computes and broadcasts
+// its round-t report.
+func (na *nodeAgent) runSync() {
+	defer close(na.done)
+	pending := make(map[int]map[model.FlowID]bool)
+	nextRound := 1
+
+	for {
+		m, ok := <-na.ep.Recv()
+		if !ok {
+			return
+		}
+		switch m.Kind {
+		case ctrlKind:
+			var cm ctrlMsg
+			if err := transport.Decode(m, &cm); err != nil {
+				continue
+			}
+			if cm.Stop {
+				return
+			}
+		case rateKind:
+			var rm rateMsg
+			if err := transport.Decode(m, &rm); err != nil {
+				continue
+			}
+			if !na.expected[rm.Flow] {
+				continue
+			}
+			if !rm.Active {
+				if !na.inactive[rm.Flow] {
+					na.markInactive(rm.Flow)
+				}
+				// A departure may complete pending rounds.
+			} else {
+				if na.inactive[rm.Flow] {
+					// Rejoin (only legal between Run calls, when no
+					// rounds are pending; see Cluster.JoinFlow).
+					na.markActive(rm.Flow)
+				}
+				na.rates[rm.Flow] = rm.Rate
+				if pending[rm.Round] == nil {
+					pending[rm.Round] = make(map[model.FlowID]bool)
+				}
+				pending[rm.Round][rm.Flow] = true
+			}
+			// Rounds must be processed in order: the price update is
+			// sequential state. Complete rounds from nextRound upward
+			// while each has a full active set.
+			for na.activeCount() > 0 {
+				got := 0
+				for i := range pending[nextRound] {
+					if !na.inactive[i] {
+						got++
+					}
+				}
+				if got < na.activeCount() {
+					break
+				}
+				report := na.compute(nextRound)
+				if err := na.broadcast(report); err != nil {
+					return
+				}
+				delete(pending, nextRound)
+				nextRound++
+			}
+		}
+	}
+}
+
+// runAsync recomputes on a timer from the latest rates.
+func (na *nodeAgent) runAsync() {
+	defer close(na.done)
+	ticker := time.NewTicker(na.tickEvery)
+	defer ticker.Stop()
+	round := 1
+	for {
+		select {
+		case m, ok := <-na.ep.Recv():
+			if !ok {
+				return
+			}
+			switch m.Kind {
+			case ctrlKind:
+				var cm ctrlMsg
+				if err := transport.Decode(m, &cm); err != nil {
+					continue
+				}
+				if cm.Stop {
+					return
+				}
+			case rateKind:
+				var rm rateMsg
+				if err := transport.Decode(m, &rm); err != nil {
+					continue
+				}
+				if !na.expected[rm.Flow] {
+					continue
+				}
+				if !rm.Active {
+					na.markInactive(rm.Flow)
+				} else {
+					if na.inactive[rm.Flow] {
+						na.markActive(rm.Flow)
+					}
+					na.rates[rm.Flow] = rm.Rate
+				}
+			}
+		case <-ticker.C:
+			report := na.compute(round)
+			if err := na.broadcast(report); err != nil {
+				return
+			}
+			round++
+		}
+	}
+}

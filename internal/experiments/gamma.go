@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// GammaRow is one controller variant's outcome in the controller ablation
+// (X6).
+type GammaRow struct {
+	Controller string
+	// ConvergeIters per utility shape (paper order: log, r^0.25, r^0.5,
+	// r^0.75); -1 means no convergence within the horizon.
+	ConvergeIters [4]int
+	// FinalUtility on the base (log) workload.
+	FinalUtility float64
+	// RecoveryIters after removing flow 5 mid-run (0.5% band rule); -1
+	// means no recovery within the horizon.
+	RecoveryIters int
+}
+
+// GammaControllerAblation (X6) compares three node-price stepsize
+// controllers on convergence across utility shapes and on recovery from a
+// flow departure:
+//
+//   - "fixed 0.01" / "fixed 0.1": constant gamma;
+//   - "literal": the paper's Section 4.2 heuristic exactly as written;
+//   - "refined": this repository's default (dead band + surge ramp).
+//
+// It substantiates the deviation recorded in EXPERIMENTS.md: the literal
+// heuristic parks gamma at its minimum under equilibrium jitter, which
+// slows recovery, while the refined controller recovers fast and still
+// converges on every shape.
+func GammaControllerAblation(opts Options) ([]GammaRow, error) {
+	o := opts.normalized()
+
+	variants := []struct {
+		name string
+		cfg  core.Config
+	}{
+		{"fixed 0.01", core.Config{Gamma1: 0.01}},
+		{"fixed 0.1", core.Config{Gamma1: 0.1}},
+		{"literal", core.Config{Adaptive: true, GammaLiteral: true}},
+		{"refined", core.Config{Adaptive: true}},
+	}
+
+	var rows []GammaRow
+	for _, v := range variants {
+		row := GammaRow{Controller: v.name}
+
+		for si, shape := range workload.Table3Shapes() {
+			p := workload.Scaled(workload.Config{Shape: shape})
+			e, err := core.NewEngine(p, v.cfg)
+			if err != nil {
+				return nil, err
+			}
+			res := e.Solve(2 * o.Iterations)
+			row.ConvergeIters[si] = res.ConvergedAt
+			if si == 0 {
+				row.FinalUtility = res.Utility
+			}
+		}
+
+		// Recovery: remove flow 5 at the midpoint of a 2x horizon.
+		e, err := core.NewEngine(workload.Base(), v.cfg)
+		if err != nil {
+			return nil, err
+		}
+		horizon := 2 * o.Iterations
+		removeAt := horizon / 2
+		ys := make([]float64, 0, horizon)
+		for i := 0; i < horizon; i++ {
+			if i == removeAt {
+				e.SetFlowActive(5, false)
+			}
+			ys = append(ys, e.Step().Utility)
+		}
+		row.RecoveryIters = recoveryIters(ys, removeAt, 0.005)
+
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderGammaAblation renders X6 rows.
+func RenderGammaAblation(rows []GammaRow) *trace.Table {
+	t := trace.NewTable("X6: node-price stepsize controller ablation",
+		"Controller", "conv log", "conv r^0.25", "conv r^0.5", "conv r^0.75",
+		"base utility", "recovery iters")
+	fmtIters := func(v int) string {
+		if v < 0 {
+			return "—"
+		}
+		return fmt.Sprint(v)
+	}
+	for _, r := range rows {
+		t.Add(r.Controller,
+			fmtIters(r.ConvergeIters[0]), fmtIters(r.ConvergeIters[1]),
+			fmtIters(r.ConvergeIters[2]), fmtIters(r.ConvergeIters[3]),
+			fmt.Sprintf("%.0f", r.FinalUtility),
+			fmtIters(r.RecoveryIters))
+	}
+	return t
+}

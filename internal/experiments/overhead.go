@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/workload"
+)
+
+// OverheadRow records the communication cost of distributed LRGP on one
+// workload (X5). The paper notes an iteration's wall-clock cost is about
+// one overlay round-trip; this experiment quantifies the message and byte
+// volume that buys.
+type OverheadRow struct {
+	Workload string
+	Flows    int
+	Nodes    int
+	Rounds   int
+	// MessagesPerRound and BytesPerRound average over the run (rate
+	// announcements + node reports + collector copies).
+	MessagesPerRound float64
+	BytesPerRound    float64
+	// Utility sanity-checks that the run actually optimized.
+	Utility float64
+}
+
+// OverheadExperiment (X5) runs the synchronous distributed cluster over a
+// metered in-memory transport for each Table 2 workload and reports the
+// per-round message volume, which grows with flows x nodes while the
+// iteration count stays flat (Table 2's finding).
+func OverheadExperiment(opts Options, rounds int) ([]OverheadRow, error) {
+	o := opts.normalized()
+	if rounds <= 0 {
+		rounds = o.Iterations / 5
+		if rounds < 10 {
+			rounds = 10
+		}
+	}
+
+	var out []OverheadRow
+	for _, p := range workload.Table2Workloads() {
+		net := transport.NewMemory()
+		cl, err := dist.New(p, dist.Config{Core: core.Config{Adaptive: true}}, net)
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+		stats, err := cl.Run(rounds, 2*time.Minute)
+		if err != nil {
+			cl.Close()
+			net.Close()
+			return nil, err
+		}
+		m := net.NetStats()
+		if err := cl.Close(); err != nil {
+			net.Close()
+			return nil, err
+		}
+		net.Close()
+
+		out = append(out, OverheadRow{
+			Workload:         p.Name,
+			Flows:            len(p.Flows),
+			Nodes:            len(p.Nodes),
+			Rounds:           rounds,
+			MessagesPerRound: float64(m.Delivered) / float64(rounds),
+			BytesPerRound:    float64(m.Bytes) / float64(rounds),
+			Utility:          stats[len(stats)-1].Utility,
+		})
+	}
+	return out, nil
+}
+
+// RenderOverhead renders X5 rows.
+func RenderOverhead(rows []OverheadRow) *trace.Table {
+	t := trace.NewTable("X5: communication overhead of distributed LRGP",
+		"Workload", "Flows", "Nodes", "Msgs/round", "Bytes/round", "Utility")
+	for _, r := range rows {
+		t.Add(r.Workload,
+			fmt.Sprint(r.Flows), fmt.Sprint(r.Nodes),
+			fmt.Sprintf("%.1f", r.MessagesPerRound),
+			fmt.Sprintf("%.0f", r.BytesPerRound),
+			fmt.Sprintf("%.0f", r.Utility))
+	}
+	return t
+}

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/multirate"
+	"repro/internal/workload"
+)
+
+// TestRecordedNumbers pins the deterministic headline values recorded in
+// EXPERIMENTS.md, so any algorithmic change that shifts the reproduction
+// is caught (and EXPERIMENTS.md updated) rather than silently drifting.
+// Stochastic baselines (SA) are excluded; everything here is exact given
+// the fixed iteration order.
+func TestRecordedNumbers(t *testing.T) {
+	near := func(t *testing.T, got, want float64) {
+		t.Helper()
+		if math.Abs(got-want) > 1 {
+			t.Errorf("got %.1f, recorded %.1f — update EXPERIMENTS.md if intentional", got, want)
+		}
+	}
+
+	t.Run("base workload", func(t *testing.T) {
+		e, err := core.NewEngine(workload.Base(), core.Config{Adaptive: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := e.Solve(500)
+		near(t, res.Utility, 1328648)
+		if res.ConvergedAt != 56 {
+			t.Errorf("converged at %d, recorded 56", res.ConvergedAt)
+		}
+	})
+
+	t.Run("utility shapes", func(t *testing.T) {
+		want := map[workload.Shape]struct {
+			utility float64
+			iters   int
+		}{
+			workload.ShapePow25: {926566, 26},
+			workload.ShapePow50: {2010576, 65},
+			workload.ShapePow75: {4738142, 65},
+		}
+		for shape, w := range want {
+			e, err := core.NewEngine(workload.Scaled(workload.Config{Shape: shape}), core.Config{Adaptive: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res := e.Solve(500)
+			near(t, res.Utility, w.utility)
+			if res.ConvergedAt != w.iters {
+				t.Errorf("%v: converged at %d, recorded %d", shape, res.ConvergedAt, w.iters)
+			}
+		}
+	})
+
+	t.Run("linear node scaling", func(t *testing.T) {
+		e, err := core.NewEngine(workload.Scaled(workload.Config{NodeSetCopies: 8}), core.Config{Adaptive: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		near(t, e.Solve(500).Utility, 10629181)
+	})
+
+	t.Run("multirate hetero", func(t *testing.T) {
+		m, err := multirate.NewEngine(workload.Heterogeneous(), core.Config{Adaptive: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		near(t, m.Solve(600).Utility, 94389)
+
+		s, err := core.NewEngine(workload.Heterogeneous(), core.Config{Adaptive: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		near(t, s.Solve(600).Utility, 64130)
+	})
+
+	t.Run("path pruning", func(t *testing.T) {
+		res, err := PruneExperiment(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		near(t, res.Stage1.Result.Utility, 130254)
+		near(t, res.Stage2.Result.Utility, 137160)
+	})
+
+	t.Run("link bottleneck", func(t *testing.T) {
+		res, err := LinkBottleneckExperiment(Options{}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		near(t, res.Utility, 1277672)
+	})
+
+	t.Run("ablation", func(t *testing.T) {
+		rows, err := AblationAdmission(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		near(t, rows[1].Utility, 1210458) // admit-all @ rate-min
+		near(t, rows[2].Utility, 1172187) // rate-min + greedy
+		near(t, rows[3].Utility, 76273)   // rate-max + greedy
+	})
+}

@@ -1,0 +1,152 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConvergenceDetectorFlatSeries(t *testing.T) {
+	d := NewConvergenceDetector(5, 0.001)
+	for i := 0; i < 4; i++ {
+		if d.Observe(100) {
+			t.Fatalf("converged before a full window at observation %d", i+1)
+		}
+	}
+	if !d.Observe(100) {
+		t.Fatal("flat series did not converge at window fill")
+	}
+	if got := d.ConvergedAt(); got != 5 {
+		t.Errorf("ConvergedAt = %d, want 5", got)
+	}
+}
+
+func TestConvergenceDetectorOscillation(t *testing.T) {
+	d := NewConvergenceDetector(4, 0.001)
+	// +-1% oscillation around 100 never converges at a 0.1% threshold.
+	vals := []float64{99, 101, 99, 101, 99, 101, 99, 101}
+	for _, v := range vals {
+		if d.Observe(v) {
+			t.Fatal("oscillating series converged")
+		}
+	}
+	if d.Converged() || d.ConvergedAt() != -1 {
+		t.Errorf("Converged=%v ConvergedAt=%d, want false/-1", d.Converged(), d.ConvergedAt())
+	}
+}
+
+func TestConvergenceDetectorSettles(t *testing.T) {
+	d := NewConvergenceDetector(3, 0.01)
+	series := []float64{10, 50, 90, 100, 100.1, 100.2, 100.1}
+	var convergedAt int
+	for _, v := range series {
+		if d.Observe(v) && convergedAt == 0 {
+			convergedAt = d.ConvergedAt()
+		}
+	}
+	if convergedAt != 6 {
+		t.Errorf("ConvergedAt = %d, want 6 (first window within 1%%)", convergedAt)
+	}
+}
+
+func TestConvergenceDetectorStaysConverged(t *testing.T) {
+	d := NewConvergenceDetector(2, 0.01)
+	d.Observe(100)
+	if !d.Observe(100) {
+		t.Fatal("did not converge")
+	}
+	// A later spike does not un-converge (first detection is what the
+	// paper reports).
+	if !d.Observe(500) {
+		t.Error("detector lost converged state")
+	}
+	if got := d.ConvergedAt(); got != 2 {
+		t.Errorf("ConvergedAt = %d, want 2", got)
+	}
+}
+
+func TestConvergenceDetectorReset(t *testing.T) {
+	d := NewConvergenceDetector(2, 0.01)
+	d.Observe(100)
+	d.Observe(100)
+	if !d.Converged() {
+		t.Fatal("setup failed")
+	}
+	d.Reset()
+	if d.Converged() || d.ConvergedAt() != -1 {
+		t.Error("Reset did not clear state")
+	}
+	d.Observe(7)
+	if d.Converged() {
+		t.Error("converged with a single post-reset observation")
+	}
+}
+
+func TestConvergenceDetectorDefaults(t *testing.T) {
+	d := NewConvergenceDetector(0, 0)
+	if d.window != DefaultWindow || d.threshold != DefaultRelAmplitude {
+		t.Errorf("defaults: window=%d threshold=%g", d.window, d.threshold)
+	}
+}
+
+func TestSeriesStats(t *testing.T) {
+	var s Series
+	if s.Len() != 0 || s.Last() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Error("empty series stats not zero")
+	}
+	for _, v := range []float64{4, 1, 3, 2} {
+		s.Append(v)
+	}
+	if s.Len() != 4 || s.At(0) != 4 || s.Last() != 2 {
+		t.Errorf("Len/At/Last = %d/%g/%g", s.Len(), s.At(0), s.Last())
+	}
+	if s.Min() != 1 || s.Max() != 4 || s.Mean() != 2.5 {
+		t.Errorf("Min/Max/Mean = %g/%g/%g", s.Min(), s.Max(), s.Mean())
+	}
+	if q := s.Quantile(0.5); q != 2 && q != 3 {
+		t.Errorf("median = %g, want 2 or 3", q)
+	}
+	if q := s.Quantile(0); q != 1 {
+		t.Errorf("q0 = %g, want 1", q)
+	}
+	if q := s.Quantile(1); q != 4 {
+		t.Errorf("q1 = %g, want 4", q)
+	}
+}
+
+func TestSeriesValuesIsCopy(t *testing.T) {
+	var s Series
+	s.Append(1)
+	v := s.Values()
+	v[0] = 99
+	if s.At(0) != 1 {
+		t.Error("Values aliases internal storage")
+	}
+}
+
+func TestTailAmplitude(t *testing.T) {
+	var s Series
+	for _, v := range []float64{100, 200, 100, 100, 100} {
+		s.Append(v)
+	}
+	if got := s.TailAmplitude(3); got != 0 {
+		t.Errorf("flat tail amplitude = %g, want 0", got)
+	}
+	if got := s.TailAmplitude(4); math.Abs(got-100.0/125) > 1e-12 {
+		t.Errorf("tail-4 amplitude = %g, want 0.8", got)
+	}
+	if !math.IsInf(s.TailAmplitude(10), 1) {
+		t.Error("short series amplitude not +Inf")
+	}
+	if !math.IsInf(s.TailAmplitude(0), 1) {
+		t.Error("zero window amplitude not +Inf")
+	}
+}
+
+func TestTailAmplitudeZeroMean(t *testing.T) {
+	var s Series
+	s.Append(-1)
+	s.Append(1)
+	if !math.IsInf(s.TailAmplitude(2), 1) {
+		t.Error("zero-mean amplitude not +Inf")
+	}
+}

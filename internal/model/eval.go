@@ -1,0 +1,103 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Evaluation of allocations: the objective function (Equation 1) and the
+// resource constraints (Equations 4 and 5).
+
+// ErrInfeasible wraps all feasibility violations reported by CheckFeasible.
+var ErrInfeasible = errors.New("model: infeasible allocation")
+
+// TotalUtility evaluates the objective of Equation 1,
+// sum_i sum_{j in C_i} n_j * U_j(r_i), for the given allocation.
+func TotalUtility(p *Problem, a Allocation) float64 {
+	total := 0.0
+	for _, c := range p.Classes {
+		n := a.Consumers[c.ID]
+		if n == 0 {
+			continue
+		}
+		total += float64(n) * c.Utility.Value(a.Rates[c.Flow])
+	}
+	return total
+}
+
+// NodeUsage evaluates the left-hand side of Equation 5 for node b:
+// sum over flows reaching b of (F_{b,i} r_i + sum over classes at b on flow
+// i of G_{b,j} n_j r_i).
+func NodeUsage(p *Problem, ix *Index, a Allocation, b NodeID) float64 {
+	used := 0.0
+	node := &p.Nodes[b]
+	for _, i := range ix.FlowsByNode(b) {
+		used += node.FlowCost[i] * a.Rates[i]
+	}
+	for _, cid := range ix.ClassesByNode(b) {
+		c := &p.Classes[cid]
+		used += c.CostPerConsumer * float64(a.Consumers[cid]) * a.Rates[c.Flow]
+	}
+	return used
+}
+
+// NodeFlowUsage evaluates only the consumer-independent portion of node b's
+// usage, sum_i F_{b,i} r_i. The greedy consumer-allocation step uses the
+// remainder c_b - NodeFlowUsage as its admission budget.
+func NodeFlowUsage(p *Problem, ix *Index, a Allocation, b NodeID) float64 {
+	used := 0.0
+	node := &p.Nodes[b]
+	for _, i := range ix.FlowsByNode(b) {
+		used += node.FlowCost[i] * a.Rates[i]
+	}
+	return used
+}
+
+// LinkUsage evaluates the left-hand side of Equation 4 for link l:
+// sum over flows traversing l of L_{l,i} r_i.
+func LinkUsage(p *Problem, ix *Index, a Allocation, l LinkID) float64 {
+	used := 0.0
+	link := &p.Links[l]
+	for _, i := range ix.FlowsByLink(l) {
+		used += link.FlowCost[i] * a.Rates[i]
+	}
+	return used
+}
+
+// CheckFeasible reports nil when the allocation satisfies every constraint
+// of Section 2: rate bounds, population bounds, link capacities and node
+// capacities. tol is an absolute slack added to each capacity comparison to
+// absorb floating-point noise; pass 0 for exact checking.
+func CheckFeasible(p *Problem, ix *Index, a Allocation, tol float64) error {
+	if len(a.Rates) != len(p.Flows) || len(a.Consumers) != len(p.Classes) {
+		return fmt.Errorf("%w: allocation shape %d/%d, want %d/%d",
+			ErrInfeasible, len(a.Rates), len(a.Consumers), len(p.Flows), len(p.Classes))
+	}
+	for _, f := range p.Flows {
+		r := a.Rates[f.ID]
+		if r < f.RateMin-tol || r > f.RateMax+tol {
+			return fmt.Errorf("%w: flow %d rate %g outside [%g, %g]",
+				ErrInfeasible, f.ID, r, f.RateMin, f.RateMax)
+		}
+	}
+	for _, c := range p.Classes {
+		n := a.Consumers[c.ID]
+		if n < 0 || n > c.MaxConsumers {
+			return fmt.Errorf("%w: class %d population %d outside [0, %d]",
+				ErrInfeasible, c.ID, n, c.MaxConsumers)
+		}
+	}
+	for _, l := range p.Links {
+		if used := LinkUsage(p, ix, a, l.ID); used > l.Capacity+tol {
+			return fmt.Errorf("%w: link %d usage %g exceeds capacity %g",
+				ErrInfeasible, l.ID, used, l.Capacity)
+		}
+	}
+	for _, n := range p.Nodes {
+		if used := NodeUsage(p, ix, a, n.ID); used > n.Capacity+tol {
+			return fmt.Errorf("%w: node %d usage %g exceeds capacity %g",
+				ErrInfeasible, n.ID, used, n.Capacity)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+package model
+
+// Index precomputes the lookup functions of Section 2.2/2.3 of the paper
+// (flowMap, attachMap, nodeClasses, linkMap, nodeMap and their inverses) so
+// the optimizer's inner loops avoid repeated scans. Build it once per
+// Problem with NewIndex; it is immutable afterwards and safe for concurrent
+// reads.
+type Index struct {
+	p *Problem
+
+	// classesByFlow[i] lists the classes consuming flow i (C_i).
+	classesByFlow [][]ClassID
+	// classesByNode[b] lists the classes attached at node b
+	// (nodeClasses(b)).
+	classesByNode [][]ClassID
+	// flowsByNode[b] lists the flows reaching node b (nodeMap(b)), in
+	// ascending flow order.
+	flowsByNode [][]FlowID
+	// flowsByLink[l] lists the flows traversing link l (linkMap(l)).
+	flowsByLink [][]FlowID
+	// nodesByFlow[i] lists the nodes reached by flow i (B_i).
+	nodesByFlow [][]NodeID
+	// linksByFlow[i] lists the links traversed by flow i (L_i).
+	linksByFlow [][]LinkID
+}
+
+// NewIndex builds the index. The problem must already be valid (see
+// Validate); NewIndex does not re-check it.
+func NewIndex(p *Problem) *Index {
+	ix := &Index{
+		p:             p,
+		classesByFlow: make([][]ClassID, len(p.Flows)),
+		classesByNode: make([][]ClassID, len(p.Nodes)),
+		flowsByNode:   make([][]FlowID, len(p.Nodes)),
+		flowsByLink:   make([][]FlowID, len(p.Links)),
+		nodesByFlow:   make([][]NodeID, len(p.Flows)),
+		linksByFlow:   make([][]LinkID, len(p.Flows)),
+	}
+	for _, c := range p.Classes {
+		ix.classesByFlow[c.Flow] = append(ix.classesByFlow[c.Flow], c.ID)
+		ix.classesByNode[c.Node] = append(ix.classesByNode[c.Node], c.ID)
+	}
+	for _, n := range p.Nodes {
+		for i := range p.Flows {
+			if _, ok := n.FlowCost[FlowID(i)]; ok {
+				ix.flowsByNode[n.ID] = append(ix.flowsByNode[n.ID], FlowID(i))
+				ix.nodesByFlow[i] = append(ix.nodesByFlow[i], n.ID)
+			}
+		}
+	}
+	for _, l := range p.Links {
+		for i := range p.Flows {
+			if _, ok := l.FlowCost[FlowID(i)]; ok {
+				ix.flowsByLink[l.ID] = append(ix.flowsByLink[l.ID], FlowID(i))
+				ix.linksByFlow[i] = append(ix.linksByFlow[i], l.ID)
+			}
+		}
+	}
+	return ix
+}
+
+// Problem returns the indexed problem.
+func (ix *Index) Problem() *Problem { return ix.p }
+
+// ClassesByFlow returns C_i, the classes consuming flow i.
+func (ix *Index) ClassesByFlow(i FlowID) []ClassID { return ix.classesByFlow[i] }
+
+// ClassesByNode returns nodeClasses(b), the classes attached at node b.
+func (ix *Index) ClassesByNode(b NodeID) []ClassID { return ix.classesByNode[b] }
+
+// FlowsByNode returns nodeMap(b), the flows reaching node b.
+func (ix *Index) FlowsByNode(b NodeID) []FlowID { return ix.flowsByNode[b] }
+
+// FlowsByLink returns linkMap(l), the flows traversing link l.
+func (ix *Index) FlowsByLink(l LinkID) []FlowID { return ix.flowsByLink[l] }
+
+// NodesByFlow returns B_i, the nodes reached by flow i.
+func (ix *Index) NodesByFlow(i FlowID) []NodeID { return ix.nodesByFlow[i] }
+
+// LinksByFlow returns L_i, the links traversed by flow i.
+func (ix *Index) LinksByFlow(i FlowID) []LinkID { return ix.linksByFlow[i] }

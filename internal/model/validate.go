@@ -1,0 +1,115 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInvalid wraps all structural problems reported by Validate.
+var ErrInvalid = errors.New("model: invalid problem")
+
+// Validate checks structural well-formedness of a problem:
+//
+//   - flows, classes, nodes and links are numbered 0..len-1 by their IDs;
+//   - every referenced flow/node exists;
+//   - rate bounds satisfy 0 < RateMin <= RateMax;
+//   - capacities and cost coefficients are positive where present;
+//   - every class has MaxConsumers >= 0, CostPerConsumer > 0 and a
+//     non-nil utility;
+//   - every class's flow reaches the class's node (otherwise the node
+//     constraint could not account for its consumers);
+//   - every flow's source node exists and link endpoints are distinct
+//     existing nodes.
+//
+// Validate returns the first violation found, wrapped in ErrInvalid.
+func Validate(p *Problem) error {
+	nF, nC, nN, nL := len(p.Flows), len(p.Classes), len(p.Nodes), len(p.Links)
+	if nF == 0 {
+		return fmt.Errorf("%w: no flows", ErrInvalid)
+	}
+	if nN == 0 {
+		return fmt.Errorf("%w: no nodes", ErrInvalid)
+	}
+
+	for i, f := range p.Flows {
+		if int(f.ID) != i {
+			return fmt.Errorf("%w: flow at index %d has ID %d", ErrInvalid, i, f.ID)
+		}
+		if f.Source < 0 || int(f.Source) >= nN {
+			return fmt.Errorf("%w: flow %d source node %d out of range", ErrInvalid, i, f.Source)
+		}
+		if !(f.RateMin > 0) || f.RateMin > f.RateMax {
+			return fmt.Errorf("%w: flow %d rate bounds [%g, %g]", ErrInvalid, i, f.RateMin, f.RateMax)
+		}
+	}
+
+	for j, c := range p.Classes {
+		if int(c.ID) != j {
+			return fmt.Errorf("%w: class at index %d has ID %d", ErrInvalid, j, c.ID)
+		}
+		if c.Flow < 0 || int(c.Flow) >= nF {
+			return fmt.Errorf("%w: class %d flow %d out of range", ErrInvalid, j, c.Flow)
+		}
+		if c.Node < 0 || int(c.Node) >= nN {
+			return fmt.Errorf("%w: class %d node %d out of range", ErrInvalid, j, c.Node)
+		}
+		if c.MaxConsumers < 0 {
+			return fmt.Errorf("%w: class %d MaxConsumers %d", ErrInvalid, j, c.MaxConsumers)
+		}
+		if !(c.CostPerConsumer > 0) {
+			return fmt.Errorf("%w: class %d CostPerConsumer %g", ErrInvalid, j, c.CostPerConsumer)
+		}
+		if c.Utility == nil {
+			return fmt.Errorf("%w: class %d has no utility function", ErrInvalid, j)
+		}
+		if _, ok := p.Nodes[c.Node].FlowCost[c.Flow]; !ok {
+			return fmt.Errorf("%w: class %d attached at node %d but flow %d does not reach it",
+				ErrInvalid, j, c.Node, c.Flow)
+		}
+	}
+
+	for b, n := range p.Nodes {
+		if int(n.ID) != b {
+			return fmt.Errorf("%w: node at index %d has ID %d", ErrInvalid, b, n.ID)
+		}
+		if !(n.Capacity > 0) {
+			return fmt.Errorf("%w: node %d capacity %g", ErrInvalid, b, n.Capacity)
+		}
+		for i, cost := range n.FlowCost {
+			if i < 0 || int(i) >= nF {
+				return fmt.Errorf("%w: node %d has cost for unknown flow %d", ErrInvalid, b, i)
+			}
+			if !(cost > 0) {
+				return fmt.Errorf("%w: node %d flow %d cost %g", ErrInvalid, b, i, cost)
+			}
+		}
+	}
+
+	for li, l := range p.Links {
+		if int(l.ID) != li {
+			return fmt.Errorf("%w: link at index %d has ID %d", ErrInvalid, li, l.ID)
+		}
+		if l.From < 0 || int(l.From) >= nN || l.To < 0 || int(l.To) >= nN {
+			return fmt.Errorf("%w: link %d endpoints %d->%d out of range", ErrInvalid, li, l.From, l.To)
+		}
+		if l.From == l.To {
+			return fmt.Errorf("%w: link %d is a self-loop at node %d", ErrInvalid, li, l.From)
+		}
+		if !(l.Capacity > 0) {
+			return fmt.Errorf("%w: link %d capacity %g", ErrInvalid, li, l.Capacity)
+		}
+		for i, cost := range l.FlowCost {
+			if i < 0 || int(i) >= nF {
+				return fmt.Errorf("%w: link %d has cost for unknown flow %d", ErrInvalid, li, i)
+			}
+			if !(cost > 0) {
+				return fmt.Errorf("%w: link %d flow %d cost %g", ErrInvalid, li, i, cost)
+			}
+		}
+	}
+	if nC == 0 {
+		return fmt.Errorf("%w: no consumer classes", ErrInvalid)
+	}
+	_ = nL
+	return nil
+}

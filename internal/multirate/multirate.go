@@ -1,0 +1,340 @@
+// Package multirate extends LRGP to multirate dissemination, the future
+// work the paper defers in Section 5: consumers of different classes of
+// the same flow may receive the stream at different (thinned) rates.
+//
+// Each class j of flow i is assigned a delivery rate d_j with
+// r_i^min <= d_j <= r_i: thinning happens at the attachment node (the
+// broker's per-class rate caps enact it), so links and consumer-
+// independent node work are still driven by the source rate r_i, while
+// per-consumer node work scales with the class's own delivery rate:
+//
+//	objective:  max  sum_i sum_j n_j * U_j(d_j)
+//	node b:     sum_i (F_{b,i} r_i + sum_j G_{b,j} n_j d_j) <= c_b
+//	link l:     sum_i L_{l,i} r_i <= c_l
+//	bounds:     r_i in [r^min, r^max],  d_j in [r^min, r_i]
+//
+// Single-rate LRGP is the special case d_j = r_i, so the multirate
+// optimum dominates the single-rate optimum on every instance.
+//
+// The algorithm mirrors LRGP's structure:
+//
+//  1. Delivery rates: each class solves U_j'(d_j) = G_{b,j} * p_b — the
+//     consumer's marginal utility equals its marginal per-consumer cost
+//     at its node's price — clamped to [r^min, r_i].
+//  2. Source rates: each flow solves
+//     sum_{j: d*_j >= r} n_j U_j'(r) = PF_i + PL_i,
+//     where the left side sums only the classes whose desired delivery
+//     rate is capped by the source rate (uncapped classes gain nothing
+//     from raising r), and the right side prices the consumer-independent
+//     resources (F at nodes, L at links).
+//  3. Populations and prices: the same greedy admission and Equation
+//     12/13 price updates as LRGP, with per-consumer cost G_{b,j} * d_j.
+package multirate
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/solver"
+	"repro/internal/utility"
+)
+
+// Allocation is a multirate solution: a source rate per flow, a delivery
+// rate per class, and an admitted population per class.
+type Allocation struct {
+	SourceRates []float64 `json:"sourceRates"`
+	Delivery    []float64 `json:"delivery"`
+	Consumers   []int     `json:"consumers"`
+}
+
+// Clone deep-copies the allocation.
+func (a Allocation) Clone() Allocation {
+	out := Allocation{
+		SourceRates: make([]float64, len(a.SourceRates)),
+		Delivery:    make([]float64, len(a.Delivery)),
+		Consumers:   make([]int, len(a.Consumers)),
+	}
+	copy(out.SourceRates, a.SourceRates)
+	copy(out.Delivery, a.Delivery)
+	copy(out.Consumers, a.Consumers)
+	return out
+}
+
+// TotalUtility evaluates sum_j n_j U_j(d_j).
+func TotalUtility(p *model.Problem, a Allocation) float64 {
+	total := 0.0
+	for j := range p.Classes {
+		if n := a.Consumers[j]; n > 0 {
+			total += float64(n) * p.Classes[j].Utility.Value(a.Delivery[j])
+		}
+	}
+	return total
+}
+
+// NodeUsage evaluates the multirate node constraint's left side.
+func NodeUsage(p *model.Problem, ix *model.Index, a Allocation, b model.NodeID) float64 {
+	used := 0.0
+	node := &p.Nodes[b]
+	for _, i := range ix.FlowsByNode(b) {
+		used += node.FlowCost[i] * a.SourceRates[i]
+	}
+	for _, cid := range ix.ClassesByNode(b) {
+		c := &p.Classes[cid]
+		used += c.CostPerConsumer * float64(a.Consumers[cid]) * a.Delivery[cid]
+	}
+	return used
+}
+
+// CheckFeasible verifies all multirate constraints with absolute slack
+// tol.
+func CheckFeasible(p *model.Problem, ix *model.Index, a Allocation, tol float64) error {
+	for _, f := range p.Flows {
+		r := a.SourceRates[f.ID]
+		if r < f.RateMin-tol || r > f.RateMax+tol {
+			return fmt.Errorf("%w: flow %d source rate %g outside [%g, %g]",
+				model.ErrInfeasible, f.ID, r, f.RateMin, f.RateMax)
+		}
+	}
+	for _, c := range p.Classes {
+		d := a.Delivery[c.ID]
+		f := p.Flows[c.Flow]
+		if d < f.RateMin-tol || d > a.SourceRates[c.Flow]+tol {
+			return fmt.Errorf("%w: class %d delivery %g outside [%g, %g]",
+				model.ErrInfeasible, c.ID, d, f.RateMin, a.SourceRates[c.Flow])
+		}
+		if n := a.Consumers[c.ID]; n < 0 || n > c.MaxConsumers {
+			return fmt.Errorf("%w: class %d population %d", model.ErrInfeasible, c.ID, n)
+		}
+	}
+	for _, l := range p.Links {
+		used := 0.0
+		for _, i := range ix.FlowsByLink(l.ID) {
+			used += l.FlowCost[i] * a.SourceRates[i]
+		}
+		if used > l.Capacity+tol {
+			return fmt.Errorf("%w: link %d usage %g > %g", model.ErrInfeasible, l.ID, used, l.Capacity)
+		}
+	}
+	for _, n := range p.Nodes {
+		if used := NodeUsage(p, ix, a, n.ID); used > n.Capacity+tol {
+			return fmt.Errorf("%w: node %d usage %g > %g", model.ErrInfeasible, n.ID, used, n.Capacity)
+		}
+	}
+	return nil
+}
+
+// Engine runs synchronous multirate-LRGP iterations.
+type Engine struct {
+	p   *model.Problem
+	ix  *model.Index
+	cfg core.Config
+
+	iteration   int
+	sourceRates []float64
+	delivery    []float64
+	desired     []float64 // d*_j before the r_i cap
+	consumers   []int
+
+	nodePrices []float64
+	linkPrices []float64
+	gammas     []*core.AdaptiveGamma
+
+	solvers []*SourceRateSolver
+	allocs  []*NodeAllocator
+}
+
+// NewEngine validates the problem and prepares a multirate engine.
+func NewEngine(p *model.Problem, cfg core.Config) (*Engine, error) {
+	if err := model.Validate(p); err != nil {
+		return nil, fmt.Errorf("multirate: %w", err)
+	}
+	c := cfg.WithDefaults()
+	e := &Engine{
+		p:           p,
+		ix:          model.NewIndex(p),
+		cfg:         c,
+		sourceRates: make([]float64, len(p.Flows)),
+		delivery:    make([]float64, len(p.Classes)),
+		desired:     make([]float64, len(p.Classes)),
+		consumers:   make([]int, len(p.Classes)),
+		nodePrices:  make([]float64, len(p.Nodes)),
+		linkPrices:  make([]float64, len(p.Links)),
+		gammas:      make([]*core.AdaptiveGamma, len(p.Nodes)),
+	}
+	for i, f := range p.Flows {
+		e.sourceRates[i] = f.RateMin
+		e.solvers = append(e.solvers, NewSourceRateSolver(p, e.ix, model.FlowID(i)))
+	}
+	for j, cl := range p.Classes {
+		e.delivery[j] = p.Flows[cl.Flow].RateMin
+	}
+	for b := range e.nodePrices {
+		e.nodePrices[b] = c.InitialNodePrice
+		e.gammas[b] = core.NewAdaptiveGamma(c)
+		e.allocs = append(e.allocs, NewNodeAllocator(p, e.ix, model.NodeID(b)))
+	}
+	for l := range e.linkPrices {
+		e.linkPrices[l] = c.InitialLinkPrice
+	}
+	return e, nil
+}
+
+// Step performs one multirate iteration and returns the utility after it.
+func (e *Engine) Step() float64 {
+	e.iteration++
+
+	// 1. Desired delivery rates per class from the marginal condition
+	// U_j'(d) = G_j * p_b.
+	for j := range e.p.Classes {
+		c := &e.p.Classes[j]
+		f := e.p.Flows[c.Flow]
+		price := c.CostPerConsumer * e.nodePrices[c.Node]
+		e.desired[j] = desiredDelivery(c.Utility, price, f.RateMin, f.RateMax)
+	}
+
+	// 2. Source rate per flow from the capped-classes stationarity
+	// condition, against the consumer-independent path price.
+	for i := range e.p.Flows {
+		e.sourceRates[i] = e.solvers[i].Rate(e.consumers, e.desired, e.pathPrice(model.FlowID(i)))
+	}
+
+	// 3. Greedy admission at per-consumer cost G_j * d_j, plus the
+	// Equation 12 price update.
+	for b := range e.p.Nodes {
+		prev := e.nodePrices[b]
+		out := e.allocs[b].Allocate(e.sourceRates, prev, e.consumers, e.delivery)
+
+		gamma1, gamma2 := e.cfg.Gamma1, e.cfg.Gamma2
+		if e.cfg.Adaptive {
+			gamma1 = e.gammas[b].Value()
+			gamma2 = gamma1
+		}
+		capacity := e.p.Nodes[b].Capacity
+		e.nodePrices[b] = core.NodePriceStep(prev, out.BestUnsatisfied, out.Used, capacity, gamma1, gamma2)
+		if e.cfg.Adaptive {
+			e.gammas[b].Observe(core.PriceGap(prev, out.BestUnsatisfied, out.Used, capacity), prev)
+		}
+	}
+
+	// 4. Link prices on source rates.
+	for l := range e.p.Links {
+		lid := model.LinkID(l)
+		used := 0.0
+		for _, i := range e.ix.FlowsByLink(lid) {
+			used += e.p.Links[l].FlowCost[i] * e.sourceRates[i]
+		}
+		e.linkPrices[l] = core.LinkPriceStep(e.linkPrices[l], used, e.p.Links[l].Capacity, e.cfg.LinkGamma)
+	}
+
+	return e.Utility()
+}
+
+// DesiredDelivery solves the per-class marginal condition U'(d) = price
+// on [dmin, dmax] — the delivery rate a class would pick if the source
+// rate did not cap it. Exported for the distributed runtime.
+func DesiredDelivery(u utility.Function, price, dmin, dmax float64) float64 {
+	return desiredDelivery(u, price, dmin, dmax)
+}
+
+// desiredDelivery solves U'(d) = price on [dmin, dmax].
+func desiredDelivery(u utility.Function, price, dmin, dmax float64) float64 {
+	if price <= 0 {
+		return dmax
+	}
+	if u.Deriv(dmin) <= price {
+		return dmin
+	}
+	if u.Deriv(dmax) >= price {
+		return dmax
+	}
+	if inv, ok := u.(utility.DerivInverter); ok {
+		d := inv.InvDeriv(price)
+		if d < dmin {
+			return dmin
+		}
+		if d > dmax {
+			return dmax
+		}
+		return d
+	}
+	d, err := solver.Bisect(func(x float64) float64 {
+		return u.Deriv(x) - price
+	}, dmin, dmax, solver.Options{})
+	if err != nil {
+		return dmin
+	}
+	return d
+}
+
+// pathPrice is the consumer-independent path price for flow i:
+// sum L*p_l over its links plus sum F*p_b over its nodes.
+func (e *Engine) pathPrice(i model.FlowID) float64 {
+	price := 0.0
+	for _, l := range e.ix.LinksByFlow(i) {
+		price += e.p.Links[l].FlowCost[i] * e.linkPrices[l]
+	}
+	for _, b := range e.ix.NodesByFlow(i) {
+		price += e.p.Nodes[b].FlowCost[i] * e.nodePrices[b]
+	}
+	return price
+}
+
+// Utility returns the current objective value.
+func (e *Engine) Utility() float64 {
+	total := 0.0
+	for j := range e.p.Classes {
+		if n := e.consumers[j]; n > 0 {
+			total += float64(n) * e.p.Classes[j].Utility.Value(e.delivery[j])
+		}
+	}
+	return total
+}
+
+// Allocation snapshots the current state.
+func (e *Engine) Allocation() Allocation {
+	a := Allocation{
+		SourceRates: make([]float64, len(e.sourceRates)),
+		Delivery:    make([]float64, len(e.delivery)),
+		Consumers:   make([]int, len(e.consumers)),
+	}
+	copy(a.SourceRates, e.sourceRates)
+	copy(a.Delivery, e.delivery)
+	copy(a.Consumers, e.consumers)
+	return a
+}
+
+// Result mirrors core.Result for the multirate engine.
+type Result struct {
+	Utility     float64
+	Iterations  int
+	Converged   bool
+	ConvergedAt int
+	Allocation  Allocation
+	Trace       []float64
+}
+
+// Solve runs until the paper's 0.1% amplitude rule or maxIter.
+func (e *Engine) Solve(maxIter int) Result {
+	if maxIter <= 0 {
+		maxIter = 250
+	}
+	det := metrics.NewConvergenceDetector(0, 0)
+	trace := make([]float64, 0, maxIter)
+	for t := 0; t < maxIter; t++ {
+		u := e.Step()
+		trace = append(trace, u)
+		if det.Observe(u) {
+			break
+		}
+	}
+	return Result{
+		Utility:     trace[len(trace)-1],
+		Iterations:  len(trace),
+		Converged:   det.Converged(),
+		ConvergedAt: det.ConvergedAt(),
+		Allocation:  e.Allocation(),
+		Trace:       trace,
+	}
+}

@@ -1,0 +1,34 @@
+package overlay_test
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/overlay"
+	"repro/internal/utility"
+)
+
+// Example derives an optimization problem from a topology: the flow is
+// routed along shortest paths, which fixes its link and node cost
+// coefficients.
+func Example() {
+	topo := overlay.Line(4, 10_000) // 0 - 1 - 2 - 3
+
+	problem, err := overlay.Build(topo, 9e5, []overlay.FlowSpec{{
+		Name: "feed", Source: 0, RateMin: 10, RateMax: 1000,
+		LinkCost: 1, NodeCost: 3,
+		Classes: []overlay.ClassSpec{
+			{Name: "near", Node: 1, MaxConsumers: 100, CostPerConsumer: 19, Utility: utility.NewLog(20)},
+			{Name: "far", Node: 3, MaxConsumers: 100, CostPerConsumer: 19, Utility: utility.NewLog(20)},
+		},
+	}})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	ix := model.NewIndex(problem)
+	fmt.Printf("flow reaches %d nodes over %d links\n",
+		len(ix.NodesByFlow(0)), len(ix.LinksByFlow(0)))
+	// Output:
+	// flow reaches 4 nodes over 3 links
+}

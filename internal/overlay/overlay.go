@@ -1,0 +1,223 @@
+// Package overlay models the network of nodes and unidirectional links an
+// event-driven infrastructure runs on (Section 2.1 of the LRGP paper), and
+// derives optimization problems from it: given a topology and a set of
+// flows with subscriber nodes, it routes each flow along a shortest-path
+// dissemination tree and emits the corresponding link costs L_{l,i} and
+// flow-node costs F_{b,i} into a model.Problem.
+//
+// The paper's evaluation workloads sidestep topology (no link bottlenecks),
+// so package workload builds problems directly; this package supplies the
+// fuller substrate for the link-pricing extension experiments and for the
+// broker deployment, where flows physically traverse links.
+package overlay
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// Topology is a directed graph of overlay nodes. Node IDs are 0..N-1;
+// links are added explicitly.
+type Topology struct {
+	nodeCount int
+	links     []TopoLink
+	// out[b] lists indices into links leaving node b.
+	out [][]int
+}
+
+// TopoLink is one unidirectional overlay link.
+type TopoLink struct {
+	From, To model.NodeID
+	Capacity float64
+}
+
+// Errors returned by topology operations.
+var (
+	ErrNoPath   = errors.New("overlay: no path")
+	ErrBadLink  = errors.New("overlay: invalid link")
+	ErrBadBuild = errors.New("overlay: invalid build spec")
+)
+
+// NewTopology returns a topology with n nodes and no links.
+func NewTopology(n int) *Topology {
+	return &Topology{nodeCount: n, out: make([][]int, n)}
+}
+
+// NodeCount returns the number of nodes.
+func (t *Topology) NodeCount() int { return t.nodeCount }
+
+// Links returns a copy of the link list, indexed by the LinkIDs used in
+// derived problems.
+func (t *Topology) Links() []TopoLink {
+	out := make([]TopoLink, len(t.links))
+	copy(out, t.links)
+	return out
+}
+
+// AddLink adds a unidirectional link and returns its index.
+func (t *Topology) AddLink(from, to model.NodeID, capacity float64) (int, error) {
+	if from < 0 || int(from) >= t.nodeCount || to < 0 || int(to) >= t.nodeCount {
+		return 0, fmt.Errorf("%w: endpoints %d->%d with %d nodes", ErrBadLink, from, to, t.nodeCount)
+	}
+	if from == to {
+		return 0, fmt.Errorf("%w: self-loop at %d", ErrBadLink, from)
+	}
+	if capacity <= 0 {
+		return 0, fmt.Errorf("%w: capacity %g", ErrBadLink, capacity)
+	}
+	id := len(t.links)
+	t.links = append(t.links, TopoLink{From: from, To: to, Capacity: capacity})
+	t.out[from] = append(t.out[from], id)
+	return id, nil
+}
+
+// AddBidirectional adds a pair of opposite links with equal capacity and
+// returns their indices.
+func (t *Topology) AddBidirectional(a, b model.NodeID, capacity float64) (int, int, error) {
+	ab, err := t.AddLink(a, b, capacity)
+	if err != nil {
+		return 0, 0, err
+	}
+	ba, err := t.AddLink(b, a, capacity)
+	if err != nil {
+		return 0, 0, err
+	}
+	return ab, ba, nil
+}
+
+// Line builds a path topology 0-1-...-n-1 with bidirectional links.
+func Line(n int, capacity float64) *Topology {
+	t := NewTopology(n)
+	for i := 0; i+1 < n; i++ {
+		// Construction cannot fail for valid i.
+		_, _, _ = t.AddBidirectional(model.NodeID(i), model.NodeID(i+1), capacity)
+	}
+	return t
+}
+
+// Ring builds a cycle topology with bidirectional links.
+func Ring(n int, capacity float64) *Topology {
+	t := Line(n, capacity)
+	if n > 2 {
+		_, _, _ = t.AddBidirectional(model.NodeID(n-1), 0, capacity)
+	}
+	return t
+}
+
+// Star builds a hub-and-spoke topology with node 0 as the hub.
+func Star(n int, capacity float64) *Topology {
+	t := NewTopology(n)
+	for i := 1; i < n; i++ {
+		_, _, _ = t.AddBidirectional(0, model.NodeID(i), capacity)
+	}
+	return t
+}
+
+// ShortestPath returns the link indices of a minimum-hop path from src to
+// dst (BFS). An empty slice is returned when src == dst.
+func (t *Topology) ShortestPath(src, dst model.NodeID) ([]int, error) {
+	if src == dst {
+		return nil, nil
+	}
+	if src < 0 || int(src) >= t.nodeCount || dst < 0 || int(dst) >= t.nodeCount {
+		return nil, fmt.Errorf("%w: %d -> %d", ErrNoPath, src, dst)
+	}
+	// prevLink[b] is the link used to first reach b; -1 when unvisited.
+	prevLink := make([]int, t.nodeCount)
+	for i := range prevLink {
+		prevLink[i] = -1
+	}
+	queue := []model.NodeID{src}
+	visited := make([]bool, t.nodeCount)
+	visited[src] = true
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		for _, li := range t.out[b] {
+			l := t.links[li]
+			if visited[l.To] {
+				continue
+			}
+			visited[l.To] = true
+			prevLink[l.To] = li
+			if l.To == dst {
+				return t.tracePath(src, dst, prevLink), nil
+			}
+			queue = append(queue, l.To)
+		}
+	}
+	return nil, fmt.Errorf("%w: %d -> %d", ErrNoPath, src, dst)
+}
+
+func (t *Topology) tracePath(src, dst model.NodeID, prevLink []int) []int {
+	var rev []int
+	for at := dst; at != src; {
+		li := prevLink[at]
+		rev = append(rev, li)
+		at = t.links[li].From
+	}
+	// Reverse into forward order.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// Tree is a flow's dissemination tree: the union of shortest paths from
+// the source to every subscriber node.
+type Tree struct {
+	// Source is the tree root.
+	Source model.NodeID
+	// Links holds the indices of topology links in the tree.
+	Links []int
+	// Nodes holds every node the tree touches (source, relays,
+	// subscribers), in ascending order.
+	Nodes []model.NodeID
+}
+
+// BuildTree computes the dissemination tree for a flow from src to the
+// given subscriber nodes. Paths are minimum-hop; shared prefixes are
+// merged (each link appears once).
+func (t *Topology) BuildTree(src model.NodeID, subscribers []model.NodeID) (Tree, error) {
+	linkSet := make(map[int]bool)
+	nodeSet := map[model.NodeID]bool{src: true}
+	for _, dst := range subscribers {
+		path, err := t.ShortestPath(src, dst)
+		if err != nil {
+			return Tree{}, fmt.Errorf("subscriber %d: %w", dst, err)
+		}
+		for _, li := range path {
+			linkSet[li] = true
+			nodeSet[t.links[li].From] = true
+			nodeSet[t.links[li].To] = true
+		}
+	}
+	tree := Tree{Source: src}
+	for li := range linkSet {
+		tree.Links = append(tree.Links, li)
+	}
+	for b := range nodeSet {
+		tree.Nodes = append(tree.Nodes, b)
+	}
+	sortInts(tree.Links)
+	sortNodeIDs(tree.Nodes)
+	return tree, nil
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func sortNodeIDs(a []model.NodeID) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

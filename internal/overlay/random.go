@@ -1,0 +1,70 @@
+package overlay
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/model"
+)
+
+// RandomTopology generates a connected random overlay using a Waxman-like
+// construction: nodes are placed uniformly in the unit square, a random
+// spanning tree guarantees connectivity, and extra bidirectional links are
+// added between pairs with probability alpha * exp(-distance/(beta*L))
+// where L is the maximum possible distance. All links share one capacity.
+// The generator is deterministic for a given rand source.
+func RandomTopology(rng *rand.Rand, n int, alpha, beta, capacity float64) *Topology {
+	if n < 1 {
+		n = 1
+	}
+	if alpha <= 0 {
+		alpha = 0.4
+	}
+	if beta <= 0 {
+		beta = 0.3
+	}
+	if capacity <= 0 {
+		capacity = 1e6
+	}
+
+	t := NewTopology(n)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	dist := func(a, b int) float64 {
+		dx, dy := xs[a]-xs[b], ys[a]-ys[b]
+		return math.Sqrt(dx*dx + dy*dy)
+	}
+
+	// Random spanning tree: connect each node (in shuffled order) to a
+	// uniformly chosen earlier node.
+	order := rng.Perm(n)
+	for k := 1; k < n; k++ {
+		a := order[k]
+		b := order[rng.Intn(k)]
+		// Construction guarantees valid distinct endpoints.
+		_, _, _ = t.AddBidirectional(model.NodeID(a), model.NodeID(b), capacity)
+	}
+
+	// Waxman extras.
+	maxDist := math.Sqrt2
+	connected := make(map[[2]int]bool)
+	for _, l := range t.Links() {
+		connected[[2]int{int(l.From), int(l.To)}] = true
+	}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if connected[[2]int{a, b}] {
+				continue
+			}
+			p := alpha * math.Exp(-dist(a, b)/(beta*maxDist))
+			if rng.Float64() < p {
+				_, _, _ = t.AddBidirectional(model.NodeID(a), model.NodeID(b), capacity)
+			}
+		}
+	}
+	return t
+}

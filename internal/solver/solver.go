@@ -1,0 +1,167 @@
+// Package solver provides the one-dimensional numeric root finding used by
+// the LRGP rate-allocation step. The stationarity condition of Equation 7,
+//
+//	sum_j n_j * U_j'(r) = PL_i + PB_i,
+//
+// is a root of a strictly decreasing function of r (each U_j is strictly
+// concave so each U_j' is strictly decreasing). Bisection on a bracketing
+// interval is therefore exact up to tolerance; Newton iteration with a
+// bisection safeguard is offered as a faster alternative when the caller
+// can supply the derivative.
+package solver
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Default iteration limits and tolerances. 200 bisection steps reduce any
+// bracketing interval below double-precision resolution; the solvers stop
+// earlier once tolerances are met.
+const (
+	DefaultMaxIter = 200
+	DefaultXTol    = 1e-12
+	DefaultFTol    = 1e-12
+)
+
+// Errors reported by the solvers.
+var (
+	ErrNoBracket = errors.New("solver: interval does not bracket a root")
+	ErrBadRange  = errors.New("solver: invalid interval")
+	ErrMaxIter   = errors.New("solver: iteration limit exceeded")
+)
+
+// Options tunes a solve. The zero value selects the defaults above.
+type Options struct {
+	// MaxIter caps the iteration count (default DefaultMaxIter).
+	MaxIter int
+	// XTol is the absolute tolerance on the root position.
+	XTol float64
+	// FTol is the absolute tolerance on the function value.
+	FTol float64
+}
+
+func (o Options) normalized() Options {
+	if o.MaxIter <= 0 {
+		o.MaxIter = DefaultMaxIter
+	}
+	if o.XTol <= 0 {
+		o.XTol = DefaultXTol
+	}
+	if o.FTol <= 0 {
+		o.FTol = DefaultFTol
+	}
+	return o
+}
+
+// Bisect finds x in [lo, hi] with f(x) = 0 by bisection. f must be
+// continuous and f(lo), f(hi) must have opposite signs (or one endpoint may
+// itself be a root). The returned root satisfies either |f(x)| <= FTol or a
+// final interval width <= XTol.
+func Bisect(f func(float64) float64, lo, hi float64, opts Options) (float64, error) {
+	o := opts.normalized()
+	if !(lo <= hi) || math.IsNaN(lo) || math.IsNaN(hi) {
+		return 0, fmt.Errorf("%w: [%g, %g]", ErrBadRange, lo, hi)
+	}
+
+	flo, fhi := f(lo), f(hi)
+	if math.Abs(flo) <= o.FTol {
+		return lo, nil
+	}
+	if math.Abs(fhi) <= o.FTol {
+		return hi, nil
+	}
+	if flo*fhi > 0 {
+		return 0, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, lo, flo, hi, fhi)
+	}
+
+	for i := 0; i < o.MaxIter; i++ {
+		mid := lo + (hi-lo)/2
+		fmid := f(mid)
+		switch {
+		case math.Abs(fmid) <= o.FTol, hi-lo <= o.XTol:
+			return mid, nil
+		case flo*fmid < 0:
+			hi = mid
+		default:
+			lo, flo = mid, fmid
+		}
+	}
+	return lo + (hi-lo)/2, nil
+}
+
+// NewtonBisect finds a root of f in [lo, hi] using Newton steps safeguarded
+// by a shrinking bisection bracket: any Newton step that leaves the current
+// bracket, or that makes insufficient progress, is replaced by a bisection
+// step. df is the derivative of f. The same bracketing precondition as
+// Bisect applies.
+func NewtonBisect(f, df func(float64) float64, lo, hi float64, opts Options) (float64, error) {
+	o := opts.normalized()
+	if !(lo <= hi) || math.IsNaN(lo) || math.IsNaN(hi) {
+		return 0, fmt.Errorf("%w: [%g, %g]", ErrBadRange, lo, hi)
+	}
+
+	flo, fhi := f(lo), f(hi)
+	if math.Abs(flo) <= o.FTol {
+		return lo, nil
+	}
+	if math.Abs(fhi) <= o.FTol {
+		return hi, nil
+	}
+	if flo*fhi > 0 {
+		return 0, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, lo, flo, hi, fhi)
+	}
+
+	x := lo + (hi-lo)/2
+	fx := f(x)
+	for i := 0; i < o.MaxIter; i++ {
+		if math.Abs(fx) <= o.FTol || hi-lo <= o.XTol {
+			return x, nil
+		}
+
+		// Maintain the bracket around the sign change.
+		if flo*fx < 0 {
+			hi = x
+		} else {
+			lo, flo = x, fx
+		}
+
+		// Try a Newton step from x; fall back to bisection if it exits
+		// the bracket or the derivative is unusable.
+		var next float64
+		d := df(x)
+		if d != 0 && !math.IsNaN(d) && !math.IsInf(d, 0) {
+			next = x - fx/d
+		} else {
+			next = math.NaN()
+		}
+		if math.IsNaN(next) || next <= lo || next >= hi {
+			next = lo + (hi-lo)/2
+		}
+		x = next
+		fx = f(x)
+	}
+	return x, nil
+}
+
+// BracketDecreasing expands an upper bound for a strictly decreasing f with
+// f(lo) > 0, returning hi >= lo with f(hi) <= 0, growing geometrically from
+// the given initial guess. It reports ErrNoBracket if no sign change is
+// found within maxExpand doublings.
+func BracketDecreasing(f func(float64) float64, lo, hint float64, maxExpand int) (float64, error) {
+	if maxExpand <= 0 {
+		maxExpand = 64
+	}
+	hi := hint
+	if hi <= lo {
+		hi = lo + 1
+	}
+	for i := 0; i < maxExpand; i++ {
+		if f(hi) <= 0 {
+			return hi, nil
+		}
+		hi *= 2
+	}
+	return 0, fmt.Errorf("%w: no sign change up to %g", ErrNoBracket, hi)
+}

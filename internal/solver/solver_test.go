@@ -1,0 +1,166 @@
+package solver
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBisectLinear(t *testing.T) {
+	f := func(x float64) float64 { return 2*x - 4 }
+	root, err := Bisect(f, 0, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(root-2) > 1e-9 {
+		t.Errorf("root = %g, want 2", root)
+	}
+}
+
+func TestBisectDecreasing(t *testing.T) {
+	// The LRGP stationarity shape: strictly decreasing marginal utility.
+	f := func(r float64) float64 { return 100/(1+r) - 5 }
+	root, err := Bisect(f, 0, 1000, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(root-19) > 1e-6 {
+		t.Errorf("root = %g, want 19", root)
+	}
+}
+
+func TestBisectEndpointRoots(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	root, err := Bisect(f, 0, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root != 0 {
+		t.Errorf("root = %g, want 0 (endpoint)", root)
+	}
+	root, err = Bisect(func(x float64) float64 { return x - 5 }, 0, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root != 5 {
+		t.Errorf("root = %g, want 5 (endpoint)", root)
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	f := func(x float64) float64 { return x*x + 1 }
+	if _, err := Bisect(f, -1, 1, Options{}); !errors.Is(err, ErrNoBracket) {
+		t.Errorf("error = %v, want ErrNoBracket", err)
+	}
+}
+
+func TestBisectBadRange(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if _, err := Bisect(f, 2, 1, Options{}); !errors.Is(err, ErrBadRange) {
+		t.Errorf("error = %v, want ErrBadRange", err)
+	}
+	if _, err := Bisect(f, math.NaN(), 1, Options{}); !errors.Is(err, ErrBadRange) {
+		t.Errorf("error = %v, want ErrBadRange for NaN", err)
+	}
+}
+
+func TestNewtonBisectQuadratic(t *testing.T) {
+	f := func(x float64) float64 { return x*x - 2 }
+	df := func(x float64) float64 { return 2 * x }
+	root, err := NewtonBisect(f, df, 0, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(root-math.Sqrt2) > 1e-9 {
+		t.Errorf("root = %g, want sqrt(2)", root)
+	}
+}
+
+func TestNewtonBisectSurvivesBadDerivative(t *testing.T) {
+	// Zero derivative everywhere forces pure bisection fallback.
+	f := func(x float64) float64 { return x - 3 }
+	df := func(float64) float64 { return 0 }
+	root, err := NewtonBisect(f, df, 0, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(root-3) > 1e-9 {
+		t.Errorf("root = %g, want 3", root)
+	}
+}
+
+func TestNewtonBisectNoBracket(t *testing.T) {
+	f := func(x float64) float64 { return x + 10 }
+	df := func(float64) float64 { return 1 }
+	if _, err := NewtonBisect(f, df, 0, 1, Options{}); !errors.Is(err, ErrNoBracket) {
+		t.Errorf("error = %v, want ErrNoBracket", err)
+	}
+}
+
+func TestNewtonBisectEndpointRoot(t *testing.T) {
+	f := func(x float64) float64 { return x - 1 }
+	df := func(float64) float64 { return 1 }
+	root, err := NewtonBisect(f, df, 1, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root != 1 {
+		t.Errorf("root = %g, want 1", root)
+	}
+}
+
+func TestBracketDecreasing(t *testing.T) {
+	f := func(x float64) float64 { return 1000 - x }
+	hi, err := BracketDecreasing(f, 1, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f(hi) > 0 {
+		t.Errorf("f(%g) = %g, want <= 0", hi, f(hi))
+	}
+}
+
+func TestBracketDecreasingFailure(t *testing.T) {
+	f := func(float64) float64 { return 1 } // never crosses
+	if _, err := BracketDecreasing(f, 1, 2, 8); !errors.Is(err, ErrNoBracket) {
+		t.Errorf("error = %v, want ErrNoBracket", err)
+	}
+}
+
+// TestBisectPropertyRandomDecreasing solves randomized LRGP-like
+// stationarity equations and verifies the residual is tiny.
+func TestBisectPropertyRandomDecreasing(t *testing.T) {
+	prop := func(scaleSeed, priceSeed uint16) bool {
+		scale := 1 + float64(scaleSeed)          // in [1, 65536]
+		price := 1e-4 + float64(priceSeed)/65536 // in (0, ~1)
+		f := func(r float64) float64 { return scale/(1+r) - price }
+		if f(0) <= 0 || f(1e9) >= 0 {
+			return true // not bracketed in test interval, skip
+		}
+		root, err := Bisect(f, 0, 1e9, Options{})
+		if err != nil {
+			return false
+		}
+		want := scale/price - 1
+		return math.Abs(root-want) <= 1e-6*(1+want)
+	}
+	if err := quick.Check(prop, &quick.Config{
+		MaxCount: 300,
+		Rand:     rand.New(rand.NewSource(7)),
+	}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOptionsNormalized(t *testing.T) {
+	o := Options{}.normalized()
+	if o.MaxIter != DefaultMaxIter || o.XTol != DefaultXTol || o.FTol != DefaultFTol {
+		t.Errorf("normalized zero Options = %+v", o)
+	}
+	o = Options{MaxIter: 5, XTol: 1e-3, FTol: 1e-4}.normalized()
+	if o.MaxIter != 5 || o.XTol != 1e-3 || o.FTol != 1e-4 {
+		t.Errorf("normalized custom Options = %+v", o)
+	}
+}

@@ -1,0 +1,258 @@
+// Package trace renders experiment results as aligned text tables, CSV,
+// and quick ASCII charts, so the experiment harness can regenerate the
+// paper's tables and figures on a terminal.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a titled grid of cells with a header row.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// Add appends one row. Missing cells render empty; extra cells are kept
+// (and widen the table).
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Addf appends one row of formatted cells: each argument is rendered with
+// %v.
+func (t *Table) Addf(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	cols := len(t.Columns)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.Columns)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+
+	if t.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", t.Title)
+	}
+	writeRow := func(row []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			if i > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[i], cell)
+		}
+		fmt.Fprintln(w)
+	}
+	writeRow(t.Columns)
+	total := cols*2 - 2
+	for _, wd := range widths {
+		total += wd
+	}
+	fmt.Fprintln(w, strings.Repeat("-", total))
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+}
+
+// RenderMarkdown writes the table as a GitHub-flavored Markdown table
+// with a bold title line.
+func (t *Table) RenderMarkdown(w io.Writer) {
+	if t.Title != "" {
+		fmt.Fprintf(w, "**%s**\n\n", t.Title)
+	}
+	writeMDRow := func(cells []string, width int) {
+		fmt.Fprint(w, "|")
+		for i := 0; i < width; i++ {
+			cell := ""
+			if i < len(cells) {
+				cell = strings.ReplaceAll(cells[i], "|", "\\|")
+			}
+			fmt.Fprintf(w, " %s |", cell)
+		}
+		fmt.Fprintln(w)
+	}
+	width := len(t.Columns)
+	for _, r := range t.Rows {
+		if len(r) > width {
+			width = len(r)
+		}
+	}
+	writeMDRow(t.Columns, width)
+	fmt.Fprint(w, "|")
+	for i := 0; i < width; i++ {
+		fmt.Fprint(w, "---|")
+	}
+	fmt.Fprintln(w)
+	for _, r := range t.Rows {
+		writeMDRow(r, width)
+	}
+}
+
+// RenderCSV writes the table as CSV (simple quoting: cells containing
+// commas or quotes are quoted with doubled quotes).
+func (t *Table) RenderCSV(w io.Writer) {
+	writeCSVRow(w, t.Columns)
+	for _, r := range t.Rows {
+		writeCSVRow(w, r)
+	}
+}
+
+func writeCSVRow(w io.Writer, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(w, ",")
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			fmt.Fprintf(w, `"%s"`, strings.ReplaceAll(c, `"`, `""`))
+		} else {
+			fmt.Fprint(w, c)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// SeriesSet is a figure: one shared X axis and one or more named Y series.
+type SeriesSet struct {
+	Title  string
+	XLabel string
+	X      []float64
+	Names  []string
+	Series map[string][]float64
+}
+
+// NewSeriesSet creates a figure container.
+func NewSeriesSet(title, xlabel string) *SeriesSet {
+	return &SeriesSet{
+		Title:  title,
+		XLabel: xlabel,
+		Series: make(map[string][]float64),
+	}
+}
+
+// AddSeries registers a named series. Series must share the X axis length.
+func (s *SeriesSet) AddSeries(name string, ys []float64) {
+	s.Names = append(s.Names, name)
+	s.Series[name] = ys
+}
+
+// RenderCSV writes x plus one column per series.
+func (s *SeriesSet) RenderCSV(w io.Writer) {
+	header := append([]string{s.XLabel}, s.Names...)
+	writeCSVRow(w, header)
+	for i := range s.X {
+		row := make([]string, 0, len(header))
+		row = append(row, trimFloat(s.X[i]))
+		for _, name := range s.Names {
+			ys := s.Series[name]
+			if i < len(ys) {
+				row = append(row, trimFloat(ys[i]))
+			} else {
+				row = append(row, "")
+			}
+		}
+		writeCSVRow(w, row)
+	}
+}
+
+func trimFloat(v float64) string {
+	return fmt.Sprintf("%g", v)
+}
+
+// chart symbols per series, reused cyclically.
+var chartMarks = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// RenderASCII draws the series as a crude multi-series line chart of the
+// given dimensions (minimum enforced), with a legend.
+func (s *SeriesSet) RenderASCII(w io.Writer, width, height int) {
+	if width < 20 {
+		width = 72
+	}
+	if height < 5 {
+		height = 18
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	maxLen := 0
+	for _, name := range s.Names {
+		for _, v := range s.Series[name] {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		if len(s.Series[name]) > maxLen {
+			maxLen = len(s.Series[name])
+		}
+	}
+	if maxLen == 0 {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, name := range s.Names {
+		mark := chartMarks[si%len(chartMarks)]
+		ys := s.Series[name]
+		for i, v := range ys {
+			col := 0
+			if maxLen > 1 {
+				col = i * (width - 1) / (maxLen - 1)
+			}
+			row := int((hi - v) / (hi - lo) * float64(height-1))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][col] = mark
+		}
+	}
+
+	if s.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", s.Title)
+	}
+	fmt.Fprintf(w, "%.6g\n", hi)
+	for _, line := range grid {
+		fmt.Fprintf(w, "|%s\n", string(line))
+	}
+	fmt.Fprintf(w, "%.6g %s\n", lo, strings.Repeat("-", width-len(trimFloat(lo))))
+	for si, name := range s.Names {
+		fmt.Fprintf(w, "  %c %s\n", chartMarks[si%len(chartMarks)], name)
+	}
+}

@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.Add("alpha", "1")
+	tb.Addf("beta", 2.5)
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+
+	if !strings.Contains(out, "== demo ==") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	// Title, header, separator, two rows.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d, want 5:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[1], "name") || !strings.Contains(lines[1], "value") {
+		t.Errorf("header: %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[3], "alpha") && !strings.HasPrefix(lines[3], "beta") {
+		t.Errorf("row: %q", lines[3])
+	}
+}
+
+func TestTableRenderRaggedRows(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.Add("x", "extra")
+	tb.Add()
+	var buf bytes.Buffer
+	tb.Render(&buf) // must not panic
+	if !strings.Contains(buf.String(), "extra") {
+		t.Error("extra cell dropped")
+	}
+}
+
+func TestTableRenderMarkdown(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.Add("a|b", "1")
+	var buf bytes.Buffer
+	tb.RenderMarkdown(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "**demo**") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "| name | value |") {
+		t.Errorf("missing header:\n%s", out)
+	}
+	if !strings.Contains(out, "|---|---|") {
+		t.Errorf("missing separator:\n%s", out)
+	}
+	if !strings.Contains(out, `a\|b`) {
+		t.Errorf("pipe not escaped:\n%s", out)
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.Add("1,2", `say "hi"`)
+	var buf bytes.Buffer
+	tb.RenderCSV(&buf)
+	got := buf.String()
+	want := "a,b\n\"1,2\",\"say \"\"hi\"\"\"\n"
+	if got != want {
+		t.Errorf("csv = %q, want %q", got, want)
+	}
+}
+
+func TestSeriesSetCSV(t *testing.T) {
+	s := NewSeriesSet("fig", "iter")
+	s.X = []float64{1, 2, 3}
+	s.AddSeries("u", []float64{10, 20, 30})
+	s.AddSeries("short", []float64{5})
+	var buf bytes.Buffer
+	s.RenderCSV(&buf)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if lines[0] != "iter,u,short" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "1,10,5" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	if lines[3] != "3,30," {
+		t.Errorf("row 3 = %q (short series must pad)", lines[3])
+	}
+}
+
+func TestSeriesSetASCII(t *testing.T) {
+	s := NewSeriesSet("fig", "iter")
+	for i := 0; i < 50; i++ {
+		s.X = append(s.X, float64(i))
+	}
+	ramp := make([]float64, 50)
+	flat := make([]float64, 50)
+	for i := range ramp {
+		ramp[i] = float64(i)
+		flat[i] = 25
+	}
+	s.AddSeries("ramp", ramp)
+	s.AddSeries("flat", flat)
+
+	var buf bytes.Buffer
+	s.RenderASCII(&buf, 60, 10)
+	out := buf.String()
+	if !strings.Contains(out, "== fig ==") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "* ramp") || !strings.Contains(out, "+ flat") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Error("missing marks")
+	}
+}
+
+func TestSeriesSetASCIIEmpty(t *testing.T) {
+	s := NewSeriesSet("empty", "x")
+	var buf bytes.Buffer
+	s.RenderASCII(&buf, 0, 0)
+	if !strings.Contains(buf.String(), "(no data)") {
+		t.Errorf("got %q", buf.String())
+	}
+}
+
+func TestSeriesSetASCIIConstant(t *testing.T) {
+	s := NewSeriesSet("const", "x")
+	s.X = []float64{1}
+	s.AddSeries("c", []float64{5})
+	var buf bytes.Buffer
+	s.RenderASCII(&buf, 30, 6) // must not divide by zero
+	if buf.Len() == 0 {
+		t.Error("no output")
+	}
+}

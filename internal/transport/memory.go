@@ -1,0 +1,184 @@
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+)
+
+// memoryBuffer is the per-endpoint inbound queue size. Deliveries beyond a
+// full buffer block the sender briefly rather than dropping, keeping the
+// in-memory transport lossless unless faults are injected.
+const memoryBuffer = 1024
+
+// Memory is an in-process Network: endpoints exchange messages through
+// buffered channels. It supports deterministic fault injection for tests:
+// a seeded drop probability and named partitions.
+type Memory struct {
+	mu        sync.Mutex
+	endpoints map[string]*memoryEndpoint
+	closed    bool
+
+	dropRate float64
+	rng      *rand.Rand
+	// partition maps endpoint name -> partition id; endpoints in
+	// different partitions cannot exchange messages. Empty map means no
+	// partitions.
+	partition map[string]int
+	stats     Stats
+}
+
+var (
+	_ Network = (*Memory)(nil)
+	_ Meter   = (*Memory)(nil)
+)
+
+// NewMemory returns an empty in-memory network with no fault injection.
+func NewMemory() *Memory {
+	return &Memory{
+		endpoints: make(map[string]*memoryEndpoint),
+		partition: make(map[string]int),
+	}
+}
+
+// SetDropRate makes every subsequent delivery fail with the given
+// probability, using a deterministic seeded generator. rate <= 0 disables
+// dropping.
+func (m *Memory) SetDropRate(rate float64, seed int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dropRate = rate
+	m.rng = rand.New(rand.NewSource(seed))
+}
+
+// SetPartition assigns an endpoint to a partition. Messages only flow
+// between endpoints of the same partition id. Unassigned endpoints are in
+// partition 0.
+func (m *Memory) SetPartition(name string, id int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.partition[name] = id
+}
+
+// ClearPartitions heals all partitions.
+func (m *Memory) ClearPartitions() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.partition = make(map[string]int)
+}
+
+// Endpoint implements Network.
+func (m *Memory) Endpoint(name string) (Endpoint, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := m.endpoints[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicate, name)
+	}
+	ep := &memoryEndpoint{
+		net:  m,
+		name: name,
+		in:   make(chan Message, memoryBuffer),
+	}
+	m.endpoints[name] = ep
+	return ep, nil
+}
+
+// Close implements Network.
+func (m *Memory) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	for _, ep := range m.endpoints {
+		ep.closeLocked()
+	}
+	return nil
+}
+
+// deliver routes a message to its destination, applying fault injection.
+func (m *Memory) deliver(msg Message) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return ErrClosed
+	}
+	if m.dropRate > 0 && m.rng != nil && m.rng.Float64() < m.dropRate {
+		m.stats.Dropped++
+		m.mu.Unlock()
+		return ErrDropped
+	}
+	if m.partition[msg.From] != m.partition[msg.To] {
+		m.stats.Dropped++
+		m.mu.Unlock()
+		return ErrDropped
+	}
+	dst, ok := m.endpoints[msg.To]
+	if !ok || dst.closed {
+		m.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownDest, msg.To)
+	}
+	// Enqueue under the lock so the channel cannot be closed concurrently.
+	// The buffer is large relative to a round's message count, so a full
+	// buffer signals gross imbalance; surface it instead of blocking with
+	// the network lock held.
+	select {
+	case dst.in <- msg:
+		m.stats.Delivered++
+		m.stats.Bytes += uint64(len(msg.Payload))
+		m.mu.Unlock()
+		return nil
+	default:
+		m.mu.Unlock()
+		return fmt.Errorf("transport: %q inbound buffer full", msg.To)
+	}
+}
+
+// NetStats implements Meter.
+func (m *Memory) NetStats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// memoryEndpoint is one attachment to a Memory network.
+type memoryEndpoint struct {
+	net    *Memory
+	name   string
+	in     chan Message
+	closed bool
+}
+
+var _ Endpoint = (*memoryEndpoint)(nil)
+
+// Name implements Endpoint.
+func (e *memoryEndpoint) Name() string { return e.name }
+
+// Send implements Endpoint.
+func (e *memoryEndpoint) Send(msg Message) error {
+	msg.From = e.name
+	return e.net.deliver(msg)
+}
+
+// Recv implements Endpoint.
+func (e *memoryEndpoint) Recv() <-chan Message { return e.in }
+
+// Close implements Endpoint.
+func (e *memoryEndpoint) Close() error {
+	e.net.mu.Lock()
+	defer e.net.mu.Unlock()
+	e.closeLocked()
+	delete(e.net.endpoints, e.name)
+	return nil
+}
+
+func (e *memoryEndpoint) closeLocked() {
+	if !e.closed {
+		e.closed = true
+		close(e.in)
+	}
+}

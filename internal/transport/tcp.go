@@ -1,0 +1,300 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCP is a Network whose endpoints live in (potentially) different
+// processes and exchange length-prefixed JSON frames over TCP. Each
+// endpoint runs its own listener; a shared registry maps endpoint names to
+// addresses. Within one process, NewTCP gives every endpoint a listener on
+// 127.0.0.1 and fills the registry automatically; for multi-process
+// deployments, construct endpoints with ListenTCP/RegisterPeer directly.
+type TCP struct {
+	mu        sync.Mutex
+	registry  map[string]string // endpoint name -> host:port
+	endpoints []*tcpEndpoint
+	closed    bool
+}
+
+var _ Network = (*TCP)(nil)
+
+// NewTCP returns an empty TCP network with an in-process registry.
+func NewTCP() *TCP {
+	return &TCP{registry: make(map[string]string)}
+}
+
+// Endpoint implements Network: it starts a listener on a loopback port and
+// registers the endpoint name.
+func (t *TCP) Endpoint(name string) (Endpoint, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := t.registry[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrDuplicate, name)
+	}
+	ep, err := listenTCP(name, "127.0.0.1:0", t.lookup)
+	if err != nil {
+		return nil, err
+	}
+	t.registry[name] = ep.listener.Addr().String()
+	t.endpoints = append(t.endpoints, ep)
+	return ep, nil
+}
+
+// Close implements Network.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	eps := t.endpoints
+	t.endpoints = nil
+	t.closed = true
+	t.mu.Unlock()
+	for _, ep := range eps {
+		_ = ep.Close()
+	}
+	return nil
+}
+
+// lookup resolves an endpoint name to its address.
+func (t *TCP) lookup(name string) (string, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	addr, ok := t.registry[name]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownDest, name)
+	}
+	return addr, nil
+}
+
+// tcpEndpoint is one TCP attachment: a listener for inbound frames and a
+// cache of outbound connections.
+type tcpEndpoint struct {
+	name     string
+	listener net.Listener
+	resolve  func(string) (string, error)
+
+	in      chan Message
+	mu      sync.Mutex
+	conns   map[string]*outConn
+	inConns map[net.Conn]struct{}
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+var _ Endpoint = (*tcpEndpoint)(nil)
+
+type outConn struct {
+	conn net.Conn
+	w    *bufio.Writer
+	mu   sync.Mutex
+}
+
+// ListenTCP starts an endpoint listening on addr, resolving peer names
+// through the supplied function. It is exported for multi-process use; the
+// in-process TCP network uses it internally.
+func ListenTCP(name, addr string, resolve func(string) (string, error)) (Endpoint, error) {
+	return listenTCP(name, addr, resolve)
+}
+
+func listenTCP(name, addr string, resolve func(string) (string, error)) (*tcpEndpoint, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	ep := &tcpEndpoint{
+		name:     name,
+		listener: ln,
+		resolve:  resolve,
+		in:       make(chan Message, memoryBuffer),
+		conns:    make(map[string]*outConn),
+		inConns:  make(map[net.Conn]struct{}),
+	}
+	ep.wg.Add(1)
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+// Name implements Endpoint.
+func (e *tcpEndpoint) Name() string { return e.name }
+
+// Addr returns the listener address (useful for registries).
+func (e *tcpEndpoint) Addr() string { return e.listener.Addr().String() }
+
+// Send implements Endpoint: it lazily dials the destination, caches the
+// connection, and writes one frame.
+func (e *tcpEndpoint) Send(msg Message) error {
+	msg.From = e.name
+	c, err := e.connTo(msg.To)
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(msg)
+	if err != nil {
+		return fmt.Errorf("transport: marshal: %w", err)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var lenbuf [4]byte
+	binary.BigEndian.PutUint32(lenbuf[:], uint32(len(data)))
+	if _, err := c.w.Write(lenbuf[:]); err != nil {
+		e.dropConn(msg.To)
+		return fmt.Errorf("transport: send to %q: %w", msg.To, err)
+	}
+	if _, err := c.w.Write(data); err != nil {
+		e.dropConn(msg.To)
+		return fmt.Errorf("transport: send to %q: %w", msg.To, err)
+	}
+	if err := c.w.Flush(); err != nil {
+		e.dropConn(msg.To)
+		return fmt.Errorf("transport: send to %q: %w", msg.To, err)
+	}
+	return nil
+}
+
+// Recv implements Endpoint.
+func (e *tcpEndpoint) Recv() <-chan Message { return e.in }
+
+// Close implements Endpoint.
+func (e *tcpEndpoint) Close() error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	conns := e.conns
+	e.conns = map[string]*outConn{}
+	inConns := e.inConns
+	e.inConns = map[net.Conn]struct{}{}
+	e.mu.Unlock()
+
+	_ = e.listener.Close()
+	for _, c := range conns {
+		_ = c.conn.Close()
+	}
+	for c := range inConns {
+		_ = c.Close()
+	}
+	e.wg.Wait()
+	close(e.in)
+	return nil
+}
+
+func (e *tcpEndpoint) connTo(to string) (*outConn, error) {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if c, ok := e.conns[to]; ok {
+		e.mu.Unlock()
+		return c, nil
+	}
+	e.mu.Unlock()
+
+	addr, err := e.resolve(to)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %q (%s): %w", to, addr, err)
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		_ = conn.Close()
+		return nil, ErrClosed
+	}
+	if existing, ok := e.conns[to]; ok {
+		// Lost a benign race; keep the first connection.
+		_ = conn.Close()
+		return existing, nil
+	}
+	c := &outConn{conn: conn, w: bufio.NewWriter(conn)}
+	e.conns[to] = c
+	return c, nil
+}
+
+func (e *tcpEndpoint) dropConn(to string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if c, ok := e.conns[to]; ok {
+		_ = c.conn.Close()
+		delete(e.conns, to)
+	}
+}
+
+func (e *tcpEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.mu.Lock()
+		if e.closed {
+			e.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		e.inConns[conn] = struct{}{}
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go e.readLoop(conn)
+	}
+}
+
+func (e *tcpEndpoint) readLoop(conn net.Conn) {
+	defer e.wg.Done()
+	defer func() {
+		_ = conn.Close()
+		e.mu.Lock()
+		delete(e.inConns, conn)
+		e.mu.Unlock()
+	}()
+	r := bufio.NewReader(conn)
+	for {
+		var lenbuf [4]byte
+		if _, err := io.ReadFull(r, lenbuf[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(lenbuf[:])
+		const maxFrame = 16 << 20
+		if n > maxFrame {
+			return // corrupt or hostile frame; drop the connection
+		}
+		data := make([]byte, n)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return
+		}
+		var msg Message
+		if err := json.Unmarshal(data, &msg); err != nil {
+			continue // skip undecodable frame
+		}
+
+		e.mu.Lock()
+		closed := e.closed
+		e.mu.Unlock()
+		if closed {
+			return
+		}
+		select {
+		case e.in <- msg:
+		default:
+			// Inbound buffer full: drop the frame (TCP transport is
+			// best-effort at the application layer, like UDP semantics
+			// over a reliable stream).
+		}
+	}
+}

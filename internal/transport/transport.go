@@ -1,0 +1,91 @@
+// Package transport provides named message endpoints for the distributed
+// LRGP runtime (package dist) and the event broker (package broker).
+//
+// Two implementations share one interface: an in-memory hub with
+// deterministic delivery and optional fault injection (drops, partitions),
+// and a TCP transport with length-prefixed JSON frames. Agents address
+// each other by endpoint name ("node/2", "flow/5", "collector"), so the
+// same agent code runs over either.
+package transport
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Message is one addressed datagram. Payloads are pre-encoded JSON so the
+// wire format is identical across transports.
+type Message struct {
+	// From and To are endpoint names.
+	From string `json:"from"`
+	To   string `json:"to"`
+	// Kind tags the payload type (e.g. "rate", "node", "link").
+	Kind string `json:"kind"`
+	// Payload is the JSON-encoded body.
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// Encode marshals v into a Message payload.
+func Encode(from, to, kind string, v any) (Message, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return Message{}, fmt.Errorf("transport: encode %s: %w", kind, err)
+	}
+	return Message{From: from, To: to, Kind: kind, Payload: data}, nil
+}
+
+// Decode unmarshals a Message payload into v.
+func Decode(m Message, v any) error {
+	if err := json.Unmarshal(m.Payload, v); err != nil {
+		return fmt.Errorf("transport: decode %s: %w", m.Kind, err)
+	}
+	return nil
+}
+
+// Endpoint is one agent's attachment to a network.
+type Endpoint interface {
+	// Name returns the endpoint's address.
+	Name() string
+	// Send delivers the message to msg.To. Send must not block
+	// indefinitely on a slow receiver; implementations buffer.
+	Send(msg Message) error
+	// Recv returns the stream of inbound messages. The channel closes
+	// when the endpoint is closed.
+	Recv() <-chan Message
+	// Close detaches the endpoint and releases resources.
+	Close() error
+}
+
+// Network creates named endpoints.
+type Network interface {
+	// Endpoint attaches a new endpoint with the given unique name.
+	Endpoint(name string) (Endpoint, error)
+	// Close shuts the whole network down.
+	Close() error
+}
+
+// Errors shared by implementations.
+var (
+	ErrClosed      = errors.New("transport: closed")
+	ErrDuplicate   = errors.New("transport: duplicate endpoint name")
+	ErrUnknownDest = errors.New("transport: unknown destination")
+	ErrDropped     = errors.New("transport: message dropped by fault injection")
+)
+
+// Stats counts traffic through a network, for communication-overhead
+// experiments.
+type Stats struct {
+	// Delivered counts messages handed to a destination endpoint.
+	Delivered uint64
+	// Dropped counts messages lost to fault injection or partitions.
+	Dropped uint64
+	// Bytes totals the payload bytes of delivered messages.
+	Bytes uint64
+}
+
+// Meter is implemented by networks that count their traffic.
+type Meter interface {
+	// NetStats returns a snapshot of the counters.
+	NetStats() Stats
+}

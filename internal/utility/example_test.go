@@ -1,0 +1,43 @@
+package utility_test
+
+import (
+	"fmt"
+
+	"repro/internal/utility"
+)
+
+// ExampleLog shows the paper's logarithmic utility family.
+func ExampleLog() {
+	u := utility.NewLog(20) // rank 20
+	fmt.Printf("U(10) = %.2f\n", u.Value(10))
+	fmt.Printf("U'(10) = %.3f\n", u.Deriv(10))
+	fmt.Printf("name: %s\n", u.Name())
+	// Output:
+	// U(10) = 47.96
+	// U'(10) = 1.818
+	// name: 20*log(1+r)
+}
+
+// ExampleSpec_Build round-trips a serializable utility description.
+func ExampleSpec_Build() {
+	spec := utility.Spec{Kind: utility.KindPower, Scale: 40, Exponent: 0.75}
+	fn, err := spec.Build()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%s at r=16: %.1f\n", fn.Name(), fn.Value(16))
+	// Output:
+	// 40*r^0.75 at r=16: 320.0
+}
+
+// ExampleDerivInverter solves the stationarity condition U'(r) = price in
+// closed form.
+func ExampleDerivInverter() {
+	u := utility.NewLog(20)
+	price := 0.5
+	r := u.InvDeriv(price)
+	fmt.Printf("U'(%g) = %.3f\n", r, u.Deriv(r))
+	// Output:
+	// U'(39) = 0.500
+}

@@ -1,0 +1,52 @@
+package utility
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzSpecJSON fuzzes the Spec decode path: arbitrary JSON must either
+// fail to build or produce a usable, well-behaved function.
+func FuzzSpecJSON(f *testing.F) {
+	f.Add(`{"kind":"log","scale":20}`)
+	f.Add(`{"kind":"power","scale":1,"exponent":0.5}`)
+	f.Add(`{"kind":"lincap","scale":2,"knee":100}`)
+	f.Add(`{"kind":"hyperbolic","scale":9,"halfRate":30}`)
+	f.Add(`{"kind":"nope"}`)
+	f.Add(`{"scale":-1}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		var spec Spec
+		if err := json.Unmarshal([]byte(data), &spec); err != nil {
+			t.Skip()
+		}
+		fn, err := spec.Build()
+		if err != nil {
+			return // rejected: fine
+		}
+		// Every accepted spec must produce an increasing function with a
+		// positive decreasing derivative on a probe grid.
+		prev := fn.Value(1)
+		prevD := fn.Deriv(1)
+		if !(prevD > 0) {
+			t.Fatalf("%s: Deriv(1) = %g", fn.Name(), prevD)
+		}
+		for _, r := range []float64{2, 10, 100, 1000} {
+			v, d := fn.Value(r), fn.Deriv(r)
+			if v < prev {
+				t.Fatalf("%s: Value(%g)=%g below previous %g", fn.Name(), r, v, prev)
+			}
+			if d > prevD {
+				t.Fatalf("%s: Deriv(%g)=%g above previous %g", fn.Name(), r, d, prevD)
+			}
+			prev, prevD = v, d
+		}
+		// And it must round-trip.
+		back, ok := SpecOf(fn)
+		if !ok {
+			t.Fatalf("%s: not serializable", fn.Name())
+		}
+		if _, err := back.Build(); err != nil {
+			t.Fatalf("%s: round trip failed: %v", fn.Name(), err)
+		}
+	})
+}

@@ -1,0 +1,97 @@
+package utility
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind identifies a serializable utility family.
+type Kind string
+
+// Supported utility kinds.
+const (
+	KindLog        Kind = "log"
+	KindPower      Kind = "power"
+	KindLinearCap  Kind = "lincap"
+	KindHyperbolic Kind = "hyperbolic"
+)
+
+// Spec is the serializable description of a utility function. It is the
+// form stored in JSON workload files; Build materializes the corresponding
+// Function and SpecOf recovers a Spec from one of this package's concrete
+// types.
+type Spec struct {
+	// Kind selects the utility family.
+	Kind Kind `json:"kind"`
+	// Scale is the multiplicative rank/weight, used by every kind.
+	Scale float64 `json:"scale"`
+	// Exponent is the power-law exponent (kind "power" only).
+	Exponent float64 `json:"exponent,omitempty"`
+	// Shift is the log shift (kind "log" only; 0 means the default of 1).
+	Shift float64 `json:"shift,omitempty"`
+	// Knee is the saturation knee (kind "lincap" only).
+	Knee float64 `json:"knee,omitempty"`
+	// HalfRate is the half-saturation rate (kind "hyperbolic" only).
+	HalfRate float64 `json:"halfRate,omitempty"`
+}
+
+// Errors returned by Build.
+var (
+	ErrUnknownKind = errors.New("utility: unknown kind")
+	ErrBadParam    = errors.New("utility: invalid parameter")
+)
+
+// Build materializes the Function described by the spec, validating its
+// parameters.
+func (s Spec) Build() (Function, error) {
+	switch s.Kind {
+	case KindLog:
+		shift := s.Shift
+		if shift == 0 {
+			shift = 1
+		}
+		if s.Scale <= 0 || shift <= 0 {
+			return nil, fmt.Errorf("%w: log needs scale>0 and shift>0, got scale=%g shift=%g",
+				ErrBadParam, s.Scale, shift)
+		}
+		return Log{Scale: s.Scale, Shift: shift}, nil
+	case KindPower:
+		if s.Scale <= 0 || s.Exponent <= 0 || s.Exponent >= 1 {
+			return nil, fmt.Errorf("%w: power needs scale>0 and 0<exponent<1, got scale=%g exponent=%g",
+				ErrBadParam, s.Scale, s.Exponent)
+		}
+		return Power{Scale: s.Scale, Exponent: s.Exponent}, nil
+	case KindLinearCap:
+		if s.Scale <= 0 || s.Knee <= 0 {
+			return nil, fmt.Errorf("%w: lincap needs scale>0 and knee>0, got scale=%g knee=%g",
+				ErrBadParam, s.Scale, s.Knee)
+		}
+		return LinearCap{Scale: s.Scale, Knee: s.Knee}, nil
+	case KindHyperbolic:
+		if s.Scale <= 0 || s.HalfRate <= 0 {
+			return nil, fmt.Errorf("%w: hyperbolic needs scale>0 and halfRate>0, got scale=%g halfRate=%g",
+				ErrBadParam, s.Scale, s.HalfRate)
+		}
+		return Hyperbolic{Scale: s.Scale, HalfRate: s.HalfRate}, nil
+	default:
+		return nil, fmt.Errorf("%w: %q", ErrUnknownKind, s.Kind)
+	}
+}
+
+// SpecOf returns the Spec describing fn if fn is one of this package's
+// concrete types. The second return is false for foreign implementations,
+// which cannot be serialized.
+func SpecOf(fn Function) (Spec, bool) {
+	switch u := fn.(type) {
+	case Log:
+		return Spec{Kind: KindLog, Scale: u.Scale, Shift: u.Shift}, true
+	case Power:
+		return Spec{Kind: KindPower, Scale: u.Scale, Exponent: u.Exponent}, true
+	case LinearCap:
+		return Spec{Kind: KindLinearCap, Scale: u.Scale, Knee: u.Knee}, true
+	case Hyperbolic:
+		return Spec{Kind: KindHyperbolic, Scale: u.Scale, HalfRate: u.HalfRate}, true
+	default:
+		return Spec{}, false
+	}
+}

@@ -1,0 +1,93 @@
+package utility
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+func TestSpecBuildRoundTrip(t *testing.T) {
+	fns := []Function{
+		NewLog(20),
+		Log{Scale: 5, Shift: 2},
+		NewPower(15, 0.5),
+		LinearCap{Scale: 3, Knee: 50},
+		Hyperbolic{Scale: 9, HalfRate: 30},
+	}
+	for _, fn := range fns {
+		spec, ok := SpecOf(fn)
+		if !ok {
+			t.Fatalf("SpecOf(%s) not serializable", fn.Name())
+		}
+		back, err := spec.Build()
+		if err != nil {
+			t.Fatalf("Build(%+v): %v", spec, err)
+		}
+		if back != fn {
+			t.Errorf("round trip: got %#v, want %#v", back, fn)
+		}
+	}
+}
+
+func TestSpecBuildDefaultsLogShift(t *testing.T) {
+	fn, err := (Spec{Kind: KindLog, Scale: 7}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fn.(Log).Shift; got != 1 {
+		t.Errorf("default shift = %g, want 1", got)
+	}
+}
+
+func TestSpecBuildErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		spec Spec
+		want error
+	}{
+		{"unknown kind", Spec{Kind: "nope", Scale: 1}, ErrUnknownKind},
+		{"log zero scale", Spec{Kind: KindLog}, ErrBadParam},
+		{"log negative shift", Spec{Kind: KindLog, Scale: 1, Shift: -2}, ErrBadParam},
+		{"power exponent 1", Spec{Kind: KindPower, Scale: 1, Exponent: 1}, ErrBadParam},
+		{"power exponent 0", Spec{Kind: KindPower, Scale: 1}, ErrBadParam},
+		{"power negative scale", Spec{Kind: KindPower, Scale: -1, Exponent: 0.5}, ErrBadParam},
+		{"lincap zero knee", Spec{Kind: KindLinearCap, Scale: 1}, ErrBadParam},
+		{"hyperbolic zero halfrate", Spec{Kind: KindHyperbolic, Scale: 1}, ErrBadParam},
+		{"hyperbolic zero scale", Spec{Kind: KindHyperbolic, HalfRate: 5}, ErrBadParam},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := tt.spec.Build()
+			if !errors.Is(err, tt.want) {
+				t.Errorf("Build() error = %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestSpecOfForeignFunction(t *testing.T) {
+	if _, ok := SpecOf(fakeFunction{}); ok {
+		t.Error("SpecOf(foreign) reported serializable")
+	}
+}
+
+func TestSpecJSONRoundTrip(t *testing.T) {
+	spec := Spec{Kind: KindPower, Scale: 40, Exponent: 0.75}
+	data, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Spec
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != spec {
+		t.Errorf("round trip: got %+v, want %+v", back, spec)
+	}
+}
+
+type fakeFunction struct{}
+
+func (fakeFunction) Value(r float64) float64 { return r }
+func (fakeFunction) Deriv(float64) float64   { return 1 }
+func (fakeFunction) Name() string            { return "fake" }

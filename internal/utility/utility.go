@@ -1,0 +1,212 @@
+// Package utility provides the strictly concave utility functions used to
+// express consumer benefit in an event-driven infrastructure, per Section 2.2
+// of the LRGP paper (Lumezanu, Bhola, Astley, ICDCS 2006).
+//
+// A utility function maps a flow rate r (messages per unit time) to the
+// benefit one admitted consumer receives at that rate. LRGP requires
+// utilities to be increasing, strictly concave and continuously
+// differentiable on the rate interval of interest. The paper's evaluation
+// uses two families:
+//
+//   - Log:   rank * log(1 + r)
+//   - Power: rank * r^k, with 0 < k < 1
+//
+// Both are provided here, along with a capped-linear utility useful for
+// modeling nearly inelastic consumers, and a serializable Spec form used by
+// the model package for JSON round-trips.
+package utility
+
+import (
+	"fmt"
+	"math"
+)
+
+// Function is a strictly concave, increasing, continuously differentiable
+// utility of a flow rate. Implementations must be usable from multiple
+// goroutines concurrently (they are immutable value types).
+type Function interface {
+	// Value returns U(r). Callers must pass r >= 0.
+	Value(r float64) float64
+	// Deriv returns U'(r), the marginal utility at rate r. Deriv must be
+	// positive and strictly decreasing in r wherever the function is used.
+	Deriv(r float64) float64
+	// Name returns a short human-readable description, e.g. "20*log(1+r)".
+	Name() string
+}
+
+// DerivInverter is implemented by utilities whose derivative can be inverted
+// in closed form. InvDeriv solves U'(r) = y for r. The LRGP rate-allocation
+// step uses this as a fast path; utilities without it fall back to
+// bisection.
+type DerivInverter interface {
+	// InvDeriv returns the r >= 0 with U'(r) = y, for y > 0. If U'(0) < y
+	// (no such r), implementations return 0.
+	InvDeriv(y float64) float64
+}
+
+// Log is the utility Scale * log(Shift + r). The paper uses Shift = 1
+// (i.e. rank * log(1+r)); NewLog constructs that common case.
+type Log struct {
+	Scale float64
+	Shift float64
+}
+
+var (
+	_ Function      = Log{}
+	_ DerivInverter = Log{}
+)
+
+// NewLog returns the paper's logarithmic utility rank*log(1+r).
+func NewLog(rank float64) Log {
+	return Log{Scale: rank, Shift: 1}
+}
+
+// Value returns Scale * log(Shift + r).
+func (u Log) Value(r float64) float64 {
+	return u.Scale * math.Log(u.Shift+r)
+}
+
+// Deriv returns Scale / (Shift + r).
+func (u Log) Deriv(r float64) float64 {
+	return u.Scale / (u.Shift + r)
+}
+
+// InvDeriv solves Scale/(Shift+r) = y for r.
+func (u Log) InvDeriv(y float64) float64 {
+	r := u.Scale/y - u.Shift
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Name implements Function.
+func (u Log) Name() string {
+	if u.Shift == 1 {
+		return fmt.Sprintf("%g*log(1+r)", u.Scale)
+	}
+	return fmt.Sprintf("%g*log(%g+r)", u.Scale, u.Shift)
+}
+
+// Power is the utility Scale * r^Exponent with 0 < Exponent < 1. The
+// paper's evaluation uses Exponent in {0.25, 0.5, 0.75}.
+type Power struct {
+	Scale    float64
+	Exponent float64
+}
+
+var (
+	_ Function      = Power{}
+	_ DerivInverter = Power{}
+)
+
+// NewPower returns the paper's power utility rank*r^k.
+func NewPower(rank, k float64) Power {
+	return Power{Scale: rank, Exponent: k}
+}
+
+// Value returns Scale * r^Exponent.
+func (u Power) Value(r float64) float64 {
+	return u.Scale * math.Pow(r, u.Exponent)
+}
+
+// Deriv returns Scale * Exponent * r^(Exponent-1). The derivative diverges
+// as r -> 0; callers in this repository only evaluate it at r >= r^min > 0.
+func (u Power) Deriv(r float64) float64 {
+	return u.Scale * u.Exponent * math.Pow(r, u.Exponent-1)
+}
+
+// InvDeriv solves Scale*Exponent*r^(Exponent-1) = y for r.
+func (u Power) InvDeriv(y float64) float64 {
+	// r^(k-1) = y / (scale*k)  =>  r = (y/(scale*k))^(1/(k-1)).
+	return math.Pow(y/(u.Scale*u.Exponent), 1/(u.Exponent-1))
+}
+
+// Name implements Function.
+func (u Power) Name() string {
+	return fmt.Sprintf("%g*r^%g", u.Scale, u.Exponent)
+}
+
+// Hyperbolic is the latency-oriented utility Scale * r / (HalfRate + r):
+// it rises from 0, reaches half of Scale at r = HalfRate, and saturates at
+// Scale. The paper's footnote 1 notes utility can equivalently be defined
+// over latency, since rate changes correspond directly to latency changes;
+// with end-to-end latency proportional to 1/r, this function is exactly
+// Scale * (1 - normalizedLatency), making it the natural family for
+// latency-sensitive consumers.
+type Hyperbolic struct {
+	Scale    float64
+	HalfRate float64
+}
+
+var (
+	_ Function      = Hyperbolic{}
+	_ DerivInverter = Hyperbolic{}
+)
+
+// Value returns Scale * r / (HalfRate + r).
+func (u Hyperbolic) Value(r float64) float64 {
+	return u.Scale * r / (u.HalfRate + r)
+}
+
+// Deriv returns Scale * HalfRate / (HalfRate + r)^2.
+func (u Hyperbolic) Deriv(r float64) float64 {
+	d := u.HalfRate + r
+	return u.Scale * u.HalfRate / (d * d)
+}
+
+// InvDeriv solves Scale*HalfRate/(HalfRate+r)^2 = y for r.
+func (u Hyperbolic) InvDeriv(y float64) float64 {
+	r := math.Sqrt(u.Scale*u.HalfRate/y) - u.HalfRate
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// Name implements Function.
+func (u Hyperbolic) Name() string {
+	return fmt.Sprintf("%g*r/(%g+r)", u.Scale, u.HalfRate)
+}
+
+// LinearCap is a smoothed capped-linear utility approximating a nearly
+// inelastic consumer: utility grows almost linearly with slope Scale up to
+// about Knee, then saturates. It is implemented as
+//
+//	U(r) = Scale * Knee * (1 - exp(-r/Knee))
+//
+// which is strictly concave and increasing everywhere, with U'(0) = Scale
+// and U'(r) -> 0 as r grows, so it satisfies LRGP's requirements while
+// modeling "most of the value arrives by rate Knee".
+type LinearCap struct {
+	Scale float64
+	Knee  float64
+}
+
+var (
+	_ Function      = LinearCap{}
+	_ DerivInverter = LinearCap{}
+)
+
+// Value implements Function.
+func (u LinearCap) Value(r float64) float64 {
+	return u.Scale * u.Knee * (1 - math.Exp(-r/u.Knee))
+}
+
+// Deriv returns Scale * exp(-r/Knee).
+func (u LinearCap) Deriv(r float64) float64 {
+	return u.Scale * math.Exp(-r/u.Knee)
+}
+
+// InvDeriv solves Scale*exp(-r/Knee) = y for r.
+func (u LinearCap) InvDeriv(y float64) float64 {
+	if y >= u.Scale {
+		return 0
+	}
+	return -u.Knee * math.Log(y/u.Scale)
+}
+
+// Name implements Function.
+func (u LinearCap) Name() string {
+	return fmt.Sprintf("%g*%g*(1-exp(-r/%g))", u.Scale, u.Knee, u.Knee)
+}

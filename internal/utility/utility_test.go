@@ -1,0 +1,189 @@
+package utility
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// sampleRates are representative rates across the paper's [10, 1000] range
+// plus boundary-ish values.
+var sampleRates = []float64{0.5, 1, 10, 55, 100, 400, 999, 1000, 5000}
+
+func allFunctions() []Function {
+	return []Function{
+		NewLog(1),
+		NewLog(20),
+		Log{Scale: 5, Shift: 3},
+		NewPower(1, 0.25),
+		NewPower(15, 0.5),
+		NewPower(100, 0.75),
+		LinearCap{Scale: 2, Knee: 1000},
+		LinearCap{Scale: 40, Knee: 500},
+		Hyperbolic{Scale: 10, HalfRate: 100},
+		Hyperbolic{Scale: 80, HalfRate: 15},
+	}
+}
+
+func TestLogValue(t *testing.T) {
+	u := NewLog(20)
+	if got, want := u.Value(0), 0.0; got != want {
+		t.Errorf("Value(0) = %g, want %g", got, want)
+	}
+	if got, want := u.Value(math.E-1), 20.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Value(e-1) = %g, want %g", got, want)
+	}
+}
+
+func TestPowerValue(t *testing.T) {
+	u := NewPower(3, 0.5)
+	if got, want := u.Value(16), 12.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Value(16) = %g, want %g", got, want)
+	}
+}
+
+func TestHyperbolicValue(t *testing.T) {
+	u := Hyperbolic{Scale: 10, HalfRate: 100}
+	if got := u.Value(100); got != 5 {
+		t.Errorf("Value(halfRate) = %g, want half of scale", got)
+	}
+	if got := u.Value(0); got != 0 {
+		t.Errorf("Value(0) = %g, want 0", got)
+	}
+	if got := u.Value(1e12); math.Abs(got-10) > 1e-6 {
+		t.Errorf("Value(inf-ish) = %g, want ~scale", got)
+	}
+}
+
+func TestHyperbolicInvDerivClamps(t *testing.T) {
+	u := Hyperbolic{Scale: 10, HalfRate: 100}
+	// U'(0) = Scale/HalfRate = 0.1; a larger y has no positive solution.
+	if got := u.InvDeriv(0.2); got != 0 {
+		t.Errorf("InvDeriv(0.2) = %g, want 0", got)
+	}
+}
+
+func TestLinearCapValue(t *testing.T) {
+	u := LinearCap{Scale: 2, Knee: 100}
+	// Saturates at Scale*Knee.
+	if got := u.Value(1e9); math.Abs(got-200) > 1e-6 {
+		t.Errorf("Value(1e9) = %g, want ~200", got)
+	}
+	if got := u.Value(0); got != 0 {
+		t.Errorf("Value(0) = %g, want 0", got)
+	}
+}
+
+// TestDerivMatchesFiniteDifference cross-checks every analytic derivative
+// against a central finite difference.
+func TestDerivMatchesFiniteDifference(t *testing.T) {
+	for _, fn := range allFunctions() {
+		for _, r := range sampleRates {
+			h := 1e-6 * (1 + r)
+			numeric := (fn.Value(r+h) - fn.Value(r-h)) / (2 * h)
+			analytic := fn.Deriv(r)
+			if rel := math.Abs(numeric-analytic) / math.Max(1e-12, math.Abs(analytic)); rel > 1e-5 {
+				t.Errorf("%s: Deriv(%g) = %g, finite difference %g (rel err %g)",
+					fn.Name(), r, analytic, numeric, rel)
+			}
+		}
+	}
+}
+
+// TestIncreasing verifies all utilities are strictly increasing on r > 0.
+func TestIncreasing(t *testing.T) {
+	for _, fn := range allFunctions() {
+		prev := fn.Value(sampleRates[0])
+		for _, r := range sampleRates[1:] {
+			v := fn.Value(r)
+			if v <= prev {
+				t.Errorf("%s: Value(%g) = %g not greater than previous %g", fn.Name(), r, v, prev)
+			}
+			prev = v
+		}
+	}
+}
+
+// TestDerivDecreasing verifies strict concavity via decreasing derivative.
+func TestDerivDecreasing(t *testing.T) {
+	for _, fn := range allFunctions() {
+		prev := fn.Deriv(sampleRates[0])
+		for _, r := range sampleRates[1:] {
+			d := fn.Deriv(r)
+			if d >= prev {
+				t.Errorf("%s: Deriv(%g) = %g not less than previous %g", fn.Name(), r, d, prev)
+			}
+			if d <= 0 {
+				t.Errorf("%s: Deriv(%g) = %g not positive", fn.Name(), r, d)
+			}
+			prev = d
+		}
+	}
+}
+
+// TestInvDerivRoundTrip verifies InvDeriv(Deriv(r)) == r for each
+// DerivInverter implementation.
+func TestInvDerivRoundTrip(t *testing.T) {
+	for _, fn := range allFunctions() {
+		inv, ok := fn.(DerivInverter)
+		if !ok {
+			t.Fatalf("%s does not implement DerivInverter", fn.Name())
+		}
+		for _, r := range sampleRates {
+			got := inv.InvDeriv(fn.Deriv(r))
+			if rel := math.Abs(got-r) / r; rel > 1e-9 {
+				t.Errorf("%s: InvDeriv(Deriv(%g)) = %g (rel err %g)", fn.Name(), r, got, rel)
+			}
+		}
+	}
+}
+
+func TestInvDerivBelowZeroClamps(t *testing.T) {
+	u := NewLog(10)
+	// U'(0) = 10; a larger y has no positive solution, expect 0.
+	if got := u.InvDeriv(11); got != 0 {
+		t.Errorf("InvDeriv(11) = %g, want 0", got)
+	}
+	lc := LinearCap{Scale: 2, Knee: 50}
+	if got := lc.InvDeriv(3); got != 0 {
+		t.Errorf("LinearCap.InvDeriv above Scale = %g, want 0", got)
+	}
+}
+
+// TestConcavityProperty is a property-based check of midpoint concavity:
+// U((a+b)/2) >= (U(a)+U(b))/2 for all a, b > 0.
+func TestConcavityProperty(t *testing.T) {
+	for _, fn := range allFunctions() {
+		fn := fn
+		prop := func(x, y uint16) bool {
+			a := 0.01 + float64(x)/10
+			b := 0.01 + float64(y)/10
+			mid := fn.Value((a + b) / 2)
+			chord := (fn.Value(a) + fn.Value(b)) / 2
+			return mid >= chord-1e-9*math.Abs(chord)
+		}
+		if err := quick.Check(prop, &quick.Config{
+			MaxCount: 500,
+			Rand:     rand.New(rand.NewSource(1)),
+		}); err != nil {
+			t.Errorf("%s: concavity violated: %v", fn.Name(), err)
+		}
+	}
+}
+
+func TestName(t *testing.T) {
+	tests := []struct {
+		fn   Function
+		want string
+	}{
+		{NewLog(20), "20*log(1+r)"},
+		{Log{Scale: 2, Shift: 3}, "2*log(3+r)"},
+		{NewPower(5, 0.75), "5*r^0.75"},
+	}
+	for _, tt := range tests {
+		if got := tt.fn.Name(); got != tt.want {
+			t.Errorf("Name() = %q, want %q", got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// ErrUnknownWorkload is returned by Parse for unrecognized names.
+var ErrUnknownWorkload = errors.New("workload: unknown workload")
+
+// Parse resolves a command-line workload specifier:
+//
+//   - "base" — the Table 1 workload;
+//   - "tiny" — the brute-forceable instance;
+//   - "<F>f-<N>n" — a scaled workload with F flows and N consumer nodes
+//     (F a multiple of 6, N a multiple of 3*F/6), e.g. "12f-6n", "6f-24n";
+//   - "@path.json" — a problem loaded from a JSON file.
+//
+// shape selects the utility family for the generated workloads (ignored
+// for JSON files); pass 0 for the default logarithmic shape.
+func Parse(spec string, shape Shape) (*model.Problem, error) {
+	if shape == 0 {
+		shape = ShapeLog
+	}
+	switch {
+	case spec == "" || spec == "base":
+		return Scaled(Config{Shape: shape}), nil
+	case spec == "tiny":
+		return Tiny(), nil
+	case strings.HasPrefix(spec, "@"):
+		return loadJSON(spec[1:])
+	}
+
+	var nFlows, nNodes int
+	if _, err := fmt.Sscanf(spec, "%df-%dn", &nFlows, &nNodes); err != nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownWorkload, spec)
+	}
+	if nFlows <= 0 || nFlows%baseFlowCount != 0 {
+		return nil, fmt.Errorf("%w: flow count %d must be a positive multiple of %d",
+			ErrUnknownWorkload, nFlows, baseFlowCount)
+	}
+	flowCopies := nFlows / baseFlowCount
+	if nNodes <= 0 || nNodes%(3*flowCopies) != 0 {
+		return nil, fmt.Errorf("%w: node count %d must be a positive multiple of %d for %d flows",
+			ErrUnknownWorkload, nNodes, 3*flowCopies, nFlows)
+	}
+	return Scaled(Config{
+		Shape:         shape,
+		FlowCopies:    flowCopies,
+		NodeSetCopies: nNodes / (3 * flowCopies),
+	}), nil
+}
+
+// ParseShape resolves a command-line shape name: "log", "r0.25", "r0.5",
+// "r0.75".
+func ParseShape(name string) (Shape, error) {
+	switch name {
+	case "", "log":
+		return ShapeLog, nil
+	case "r0.25":
+		return ShapePow25, nil
+	case "r0.5":
+		return ShapePow50, nil
+	case "r0.75":
+		return ShapePow75, nil
+	default:
+		return 0, fmt.Errorf("workload: unknown shape %q (want log, r0.25, r0.5, r0.75)", name)
+	}
+}
+
+func loadJSON(path string) (*model.Problem, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("workload: %w", err)
+	}
+	var p model.Problem
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("workload: parse %s: %w", path, err)
+	}
+	if err := model.Validate(&p); err != nil {
+		return nil, fmt.Errorf("workload: %s: %w", path, err)
+	}
+	return &p, nil
+}

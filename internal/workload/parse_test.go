@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestParseNamed(t *testing.T) {
+	tests := []struct {
+		spec        string
+		wantFlows   int
+		wantNodes   int
+		wantClasses int
+	}{
+		{"base", 6, 3, 20},
+		{"", 6, 3, 20},
+		{"tiny", 2, 2, 4},
+		{"6f-3n", 6, 3, 20},
+		{"12f-6n", 12, 6, 40},
+		{"24f-12n", 24, 12, 80},
+		{"6f-6n", 6, 6, 40},
+		{"6f-24n", 6, 24, 160},
+		{"12f-12n", 12, 12, 80},
+	}
+	for _, tt := range tests {
+		t.Run(tt.spec, func(t *testing.T) {
+			p, err := Parse(tt.spec, ShapeLog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(p.Flows) != tt.wantFlows || len(p.Nodes) != tt.wantNodes || len(p.Classes) != tt.wantClasses {
+				t.Errorf("got %d flows, %d nodes, %d classes; want %d/%d/%d",
+					len(p.Flows), len(p.Nodes), len(p.Classes),
+					tt.wantFlows, tt.wantNodes, tt.wantClasses)
+			}
+			if err := model.Validate(p); err != nil {
+				t.Errorf("invalid: %v", err)
+			}
+		})
+	}
+}
+
+func TestParseRejects(t *testing.T) {
+	for _, spec := range []string{"nope", "7f-3n", "6f-4n", "0f-0n", "-6f-3n", "12f-9n"} {
+		if _, err := Parse(spec, ShapeLog); !errors.Is(err, ErrUnknownWorkload) {
+			t.Errorf("Parse(%q) error = %v, want ErrUnknownWorkload", spec, err)
+		}
+	}
+}
+
+func TestParseShapePropagates(t *testing.T) {
+	p, err := Parse("base", ShapePow75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "6f-3n-r^0.75" {
+		t.Errorf("name = %q", p.Name)
+	}
+	// Zero shape defaults to log.
+	p, err = Parse("base", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "6f-3n-log(1+r)" {
+		t.Errorf("default-shape name = %q", p.Name)
+	}
+}
+
+func TestParseShapeNames(t *testing.T) {
+	tests := []struct {
+		name string
+		want Shape
+	}{
+		{"", ShapeLog}, {"log", ShapeLog},
+		{"r0.25", ShapePow25}, {"r0.5", ShapePow50}, {"r0.75", ShapePow75},
+	}
+	for _, tt := range tests {
+		got, err := ParseShape(tt.name)
+		if err != nil || got != tt.want {
+			t.Errorf("ParseShape(%q) = %v, %v", tt.name, got, err)
+		}
+	}
+	if _, err := ParseShape("r0.9"); err == nil {
+		t.Error("ParseShape accepted unknown shape")
+	}
+}
+
+func TestParseJSONFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "w.json")
+
+	data, err := json.Marshal(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := Parse("@"+path, ShapeLog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "tiny-2f-2n" || len(p.Classes) != 4 {
+		t.Errorf("loaded %q with %d classes", p.Name, len(p.Classes))
+	}
+}
+
+func TestParseJSONFileErrors(t *testing.T) {
+	if _, err := Parse("@/does/not/exist.json", ShapeLog); err == nil {
+		t.Error("missing file accepted")
+	}
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse("@"+bad, ShapeLog); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	// Structurally valid JSON, semantically invalid problem.
+	invalid := filepath.Join(dir, "invalid.json")
+	if err := os.WriteFile(invalid, []byte(`{"flows":[],"nodes":[],"classes":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse("@"+invalid, ShapeLog); err == nil {
+		t.Error("invalid problem accepted")
+	}
+}

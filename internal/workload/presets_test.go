@@ -1,0 +1,51 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	tests := []struct {
+		name string
+		p    *model.Problem
+	}{
+		{"trade-data default", TradeData(0)},
+		{"trade-data tight", TradeData(30_000)},
+		{"latest-price default", LatestPrice(0)},
+		{"latest-price big", LatestPrice(16000)},
+		{"heterogeneous", Heterogeneous()},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := model.Validate(tt.p); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestTradeDataDefaults(t *testing.T) {
+	p := TradeData(0)
+	if p.Nodes[0].Capacity != 2_000_000 {
+		t.Errorf("default capacity = %g", p.Nodes[0].Capacity)
+	}
+	if p.Classes[0].Name != "gold" || p.Classes[1].Name != "public" {
+		t.Errorf("class names: %q, %q", p.Classes[0].Name, p.Classes[1].Name)
+	}
+	// Gold's reliability overhead: higher per-consumer cost.
+	if !(p.Classes[0].CostPerConsumer > p.Classes[1].CostPerConsumer) {
+		t.Error("gold not costlier than public")
+	}
+}
+
+func TestLatestPriceDemandScaling(t *testing.T) {
+	p := LatestPrice(4000)
+	if p.Classes[0].MaxConsumers != 4000 || p.Classes[1].MaxConsumers != 2000 {
+		t.Errorf("demand = %d/%d", p.Classes[0].MaxConsumers, p.Classes[1].MaxConsumers)
+	}
+	if LatestPrice(0).Classes[0].MaxConsumers != 1000 {
+		t.Error("default demand not applied")
+	}
+}
