@@ -3,9 +3,19 @@
 
 GO ?= go
 
-.PHONY: all build vet test race cover bench fuzz experiments examples clean
+.PHONY: all build vet lint test race cover bench bench-core fuzz experiments examples clean
 
-all: build vet test
+all: build vet lint test
+
+# golangci-lint is configured in .golangci.yml; the target degrades to a
+# loud skip when the binary is not installed so `make all` stays usable on
+# minimal toolchains (CI runs the real thing).
+lint:
+	@if command -v golangci-lint >/dev/null 2>&1; then \
+		golangci-lint run; \
+	else \
+		echo "lint: golangci-lint not installed; skipping (see .golangci.yml)"; \
+	fi
 
 build:
 	$(GO) build ./...
@@ -26,6 +36,12 @@ cover:
 # One benchmark per paper table/figure (plus micro-benchmarks).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Engine-core benchmarks recorded as JSON (ns/op, allocs/op per benchmark)
+# so the perf trajectory is tracked PR over PR.
+bench-core:
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/core/ \
+		| $(GO) run ./cmd/lrgp-benchjson -out BENCH_core.json
 
 # Short fuzzing pass over the solver and utility-spec fuzz targets.
 fuzz:

@@ -19,10 +19,12 @@
 package repro
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/workload"
 )
 
 // benchOptions keeps stochastic baselines affordable inside benchmarks.
@@ -32,6 +34,27 @@ func benchOptions() experiments.Options {
 		SASteps:    200_000,
 		SATemps:    []float64{100, 4000},
 		Seed:       1,
+	}
+}
+
+// BenchmarkSolveScaledWorkers measures the public-API Solve loop on a
+// scaled workload (48 flows, 96 nodes) at serial and parallel worker
+// counts; results are bit-identical across counts, so the sub-benchmarks
+// differ only in wall-clock.
+func BenchmarkSolveScaledWorkers(b *testing.B) {
+	p := workload.Scaled(workload.Config{FlowCopies: 8, NodeSetCopies: 4})
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e, err := NewEngine(p, Config{Adaptive: true, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res := e.Solve(100)
+				e.Close()
+				b.ReportMetric(res.Utility, "final-utility")
+			}
+		})
 	}
 }
 

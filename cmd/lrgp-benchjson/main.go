@@ -1,0 +1,144 @@
+// Command lrgp-benchjson converts `go test -bench` output on stdin into a
+// JSON benchmark record, so perf trajectories can be tracked in version
+// control (see `make bench-core`, which writes BENCH_core.json).
+//
+// Usage:
+//
+//	go test -run='^$' -bench=. -benchmem ./internal/core/ | lrgp-benchjson -out BENCH_core.json
+//
+// Standard `-benchmem` columns (ns/op, B/op, allocs/op) are parsed into
+// dedicated fields; any custom b.ReportMetric metrics are collected into
+// the metrics map.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"nsPerOp"`
+	BytesPerOp *float64           `json:"bytesPerOp,omitempty"`
+	AllocsOp   *float64           `json:"allocsPerOp,omitempty"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// record is the file layout: environment header plus results.
+type record struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+	rec, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lrgp-benchjson:", err)
+		os.Exit(1)
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lrgp-benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rec); err != nil {
+		fmt.Fprintln(os.Stderr, "lrgp-benchjson:", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "lrgp-benchjson: wrote %d benchmarks to %s\n", len(rec.Benchmarks), *out)
+	}
+}
+
+func parse(r io.Reader) (*record, error) {
+	rec := &record{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rec.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rec.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			rec.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rec.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		res, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("%q: %w", line, err)
+		}
+		rec.Benchmarks = append(rec.Benchmarks, *res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rec, nil
+}
+
+// parseLine parses one benchmark result line, e.g.
+//
+//	BenchmarkEngineStepHuge/workers=4-8  100  12345 ns/op  0 B/op  0 allocs/op
+//	BenchmarkFigure1Damping-8  1  2.1e9 ns/op  190123 final-utility
+func parseLine(line string) (*result, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return nil, fmt.Errorf("want at least 4 fields, got %d", len(fields))
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("iterations: %w", err)
+	}
+	res := &result{Name: fields[0], Iterations: iters}
+	// The remainder alternates value / unit.
+	for k := 2; k+1 < len(fields); k += 2 {
+		v, err := strconv.ParseFloat(fields[k], 64)
+		if err != nil {
+			return nil, fmt.Errorf("value %q: %w", fields[k], err)
+		}
+		switch unit := fields[k+1]; unit {
+		case "ns/op":
+			res.NsPerOp = v
+		case "B/op":
+			b := v
+			res.BytesPerOp = &b
+		case "allocs/op":
+			a := v
+			res.AllocsOp = &a
+		default:
+			if res.Metrics == nil {
+				res.Metrics = map[string]float64{}
+			}
+			res.Metrics[unit] = v
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: repro/internal/core
+cpu: AMD EPYC 7B13
+BenchmarkEngineStepHuge/workers=1-8         	     100	  1200345 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEngineStepHuge/workers=4-8         	     400	   400345 ns/op	      16 B/op	       1 allocs/op
+BenchmarkFigure1Damping-8                   	       1	2100000000 ns/op	  190123 final-utility
+PASS
+ok  	repro/internal/core	3.2s
+`
+	rec, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Goos != "linux" || rec.Goarch != "amd64" || rec.Pkg != "repro/internal/core" {
+		t.Errorf("header = %+v", rec)
+	}
+	if len(rec.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rec.Benchmarks))
+	}
+	b0 := rec.Benchmarks[0]
+	if b0.Name != "BenchmarkEngineStepHuge/workers=1-8" || b0.Iterations != 100 ||
+		b0.NsPerOp != 1200345 || b0.BytesPerOp == nil || *b0.BytesPerOp != 0 ||
+		b0.AllocsOp == nil || *b0.AllocsOp != 0 {
+		t.Errorf("b0 = %+v", b0)
+	}
+	b2 := rec.Benchmarks[2]
+	if b2.Metrics["final-utility"] != 190123 {
+		t.Errorf("custom metric = %+v", b2.Metrics)
+	}
+	if b2.BytesPerOp != nil {
+		t.Errorf("b2 unexpectedly has B/op: %v", *b2.BytesPerOp)
+	}
+}
+
+func TestParseRejectsMalformedBenchmarkLine(t *testing.T) {
+	if _, err := parse(strings.NewReader("BenchmarkBroken 12\n")); err == nil {
+		t.Error("want error for truncated benchmark line")
+	}
+}

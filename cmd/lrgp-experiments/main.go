@@ -5,7 +5,7 @@
 // Usage:
 //
 //	lrgp-experiments [-run all|fig1|fig2|fig3|fig4|table2|table3|async|ablation|links|prune|overhead|gamma|multirate]
-//	                 [-iters 250] [-sa-steps 1000000] [-seed 1] [-csv] [-chart]
+//	                 [-iters 250] [-sa-steps 1000000] [-seed 1] [-workers 0] [-csv] [-chart]
 package main
 
 import (
@@ -34,6 +34,7 @@ func run(args []string, out io.Writer) error {
 		iters    = fs.Int("iters", 250, "LRGP iterations per run")
 		saSteps  = fs.Int("sa-steps", 1_000_000, "full-state annealing steps per start temperature")
 		seed     = fs.Int64("seed", 1, "random seed for stochastic baselines")
+		workers  = fs.Int("workers", 0, "engine Step workers (0 = GOMAXPROCS, 1 = serial); results are identical for every count")
 		csv      = fs.Bool("csv", false, "emit figures/tables as CSV instead of text")
 		markdown = fs.Bool("markdown", false, "emit tables as GitHub-flavored Markdown")
 		chart    = fs.Bool("chart", true, "draw ASCII charts for figures")
@@ -42,7 +43,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	opts := experiments.Options{Iterations: *iters, SASteps: *saSteps, Seed: *seed}
+	opts := experiments.Options{Iterations: *iters, SASteps: *saSteps, Seed: *seed, Workers: *workers}
 
 	want := make(map[string]bool)
 	for _, name := range strings.Split(*runSpec, ",") {

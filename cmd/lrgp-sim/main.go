@@ -4,8 +4,8 @@
 // Usage:
 //
 //	lrgp-sim [-workload base|tiny|12f-6n|@file.json] [-shape log|r0.25|r0.5|r0.75]
-//	         [-iters 250] [-gamma 0.1] [-adaptive] [-multirate] [-verbose]
-//	         [-chart] [-csv] [-json] [-alloc]
+//	         [-iters 250] [-gamma 0.1] [-adaptive] [-workers 0] [-multirate]
+//	         [-verbose] [-chart] [-csv] [-json] [-alloc]
 package main
 
 import (
@@ -37,6 +37,7 @@ func run(args []string, out io.Writer) error {
 		iters        = fs.Int("iters", 250, "maximum LRGP iterations")
 		gamma        = fs.Float64("gamma", 0.1, "fixed node-price stepsize (ignored with -adaptive)")
 		adaptive     = fs.Bool("adaptive", true, "use the adaptive gamma heuristic")
+		workers      = fs.Int("workers", 0, "engine Step workers (0 = GOMAXPROCS, 1 = serial); results are identical for every count")
 		chart        = fs.Bool("chart", false, "draw an ASCII chart of the utility trace")
 		csv          = fs.Bool("csv", false, "emit the utility trace as CSV")
 		showAlloc    = fs.Bool("alloc", false, "print the final allocation")
@@ -57,7 +58,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	cfg := core.Config{Adaptive: *adaptive}
+	cfg := core.Config{Adaptive: *adaptive, Workers: *workers}
 	if !*adaptive {
 		cfg.Gamma1 = *gamma
 		cfg.Gamma2 = *gamma
@@ -69,6 +70,7 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	defer e.Close()
 	res := e.Solve(*iters)
 
 	if *jsonOut {

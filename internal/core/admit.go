@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/model"
 )
@@ -55,9 +55,10 @@ func admitNode(
 	node := &p.Nodes[b]
 
 	flowUse := 0.0
-	for _, i := range ix.FlowsByNode(b) {
+	costs := ix.FlowCostsByNode(b)
+	for k, i := range ix.FlowsByNode(b) {
 		if active[i] {
-			flowUse += node.FlowCost[i] * rates[i]
+			flowUse += costs[k] * rates[i]
 		}
 	}
 
@@ -89,11 +90,22 @@ func admitNode(
 			value:    value,
 		})
 	}
-	sort.Slice(ranked, func(x, y int) bool {
-		if ranked[x].bc != ranked[y].bc {
-			return ranked[x].bc > ranked[y].bc
+	// slices.SortFunc avoids sort.Slice's interface boxing and reflection
+	// swaps in this per-node, per-iteration sort. The id tie-break makes
+	// the order total, so the (unstable) sort is still deterministic.
+	slices.SortFunc(ranked, func(x, y classBC) int {
+		switch {
+		case x.bc > y.bc:
+			return -1
+		case x.bc < y.bc:
+			return 1
+		case x.id < y.id:
+			return -1
+		case x.id > y.id:
+			return 1
+		default:
+			return 0
 		}
-		return ranked[x].id < ranked[y].id
 	})
 
 	budget := node.Capacity - flowUse
@@ -106,6 +118,13 @@ func admitNode(
 			n = int(budget / cb.unitCost)
 			if n > c.MaxConsumers {
 				n = c.MaxConsumers
+			}
+			// budget/unitCost can round up across an integer boundary
+			// (e.g. 3 - 2^-52 dividing to exactly 3.0), admitting a
+			// consumer whose true cost overshoots the remaining budget;
+			// step back until the packing really fits.
+			for n > 0 && float64(n)*cb.unitCost > budget {
+				n--
 			}
 		}
 		consumers[cb.id] = n

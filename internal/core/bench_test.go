@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/model"
@@ -30,6 +31,29 @@ func BenchmarkEngineStepLarge(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.Step()
+	}
+}
+
+// BenchmarkEngineStepHuge is the serial-vs-parallel headline benchmark:
+// a production-scale workload (96 flows, 384 nodes, 2560 classes) stepped
+// at increasing worker counts. Workers=1 is the serial baseline; the
+// parallel sub-benchmarks shard every stage. `make bench-core` records the
+// trajectory in BENCH_core.json.
+func BenchmarkEngineStepHuge(b *testing.B) {
+	p := workload.Scaled(workload.Config{FlowCopies: 16, NodeSetCopies: 8})
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e, err := NewEngine(p, Config{Adaptive: true, Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Step()
+			}
+		})
 	}
 }
 

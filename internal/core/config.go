@@ -21,6 +21,8 @@
 // message-passing agents.
 package core
 
+import "runtime"
+
 // Default stepsizes and bounds. The paper constrains the node-price
 // stepsize gamma to [0.001, 0.1] after the damping study (Section 4.2) and
 // adapts it by +0.001 per quiet iteration and halving on fluctuation.
@@ -36,8 +38,17 @@ const (
 
 // Config tunes an Engine. The zero value is normalized to the paper's
 // defaults: fixed gamma1 = gamma2 = 0.1, link gamma 0.001, zero initial
-// prices.
+// prices, and as many Step workers as GOMAXPROCS.
 type Config struct {
+	// Workers is how many goroutines (including the caller) execute each
+	// Step stage. 0 resolves to runtime.GOMAXPROCS(0); 1 forces the serial
+	// path. Results are bit-identical for every worker count — the stages
+	// are data-independent within themselves, so sharding changes neither
+	// the arithmetic nor its order. Workloads too small to shard (fewer
+	// than minParallelItems flows, nodes and links) run serially whatever
+	// Workers says; see DESIGN.md for when Workers=1 is still the right
+	// choice.
+	Workers int
 	// Gamma1 is the damping stepsize toward the benefit-cost price when
 	// the node is within capacity (Equation 12, first branch). Default
 	// DefaultGamma.
@@ -93,6 +104,9 @@ func (c Config) WithDefaults() Config {
 }
 
 func (c Config) normalized() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
 	if c.Gamma1 <= 0 {
 		c.Gamma1 = DefaultGamma
 	}

@@ -2,18 +2,34 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/metrics"
 	"repro/internal/model"
 )
+
+// minParallelItems is the smallest per-stage item count (flows, nodes or
+// links) worth fanning out over the worker pool; below it the stage's work
+// is comparable to the dispatch overhead and the engine runs it inline.
+// Because parallel and serial execution are bit-identical, the cutover is
+// purely a performance decision.
+const minParallelItems = 16
 
 // Engine runs synchronous LRGP iterations over a problem. It is the
 // colocated formulation discussed in Section 3.5: all per-flow and per-node
 // algorithm pieces execute in one process, in the same data-dependency
 // order as the distributed version (rates, then populations, then prices).
 //
-// An Engine is not safe for concurrent use; wrap it or use package dist for
-// a concurrent, message-passing deployment.
+// With Config.Workers > 1 (the default resolves to GOMAXPROCS) each Step
+// stage is sharded across a persistent worker pool; results are
+// bit-identical to the serial engine for any worker count. The pool's
+// goroutines live only inside Step's stage barriers, so Step remains
+// synchronous from the caller's point of view.
+//
+// An Engine is still not safe for concurrent use: no method — including
+// the mid-run mutators SetFlowActive, SetClassDemand and SetNodeCapacity —
+// may run concurrently with Step or with each other. Wrap it or use
+// package dist for a concurrent, message-passing deployment.
 type Engine struct {
 	p   *model.Problem
 	ix  *model.Index
@@ -29,7 +45,22 @@ type Engine struct {
 	nodeGamma  []gammaController
 
 	solvers []*rateSolver
-	scratch []classBC
+	// scratch[s] is shard s's admission scratch; the serial path uses
+	// scratch[0].
+	scratch [][]classBC
+
+	// pool is non-nil when the engine shards stages across workers.
+	pool   *workerPool
+	shards int
+	// overNode[s] and overLink[s] collect shard s's max overload; the
+	// reduction over shards after the stage barrier is order-independent
+	// (max is associative and commutative), so the result is bit-identical
+	// to the serial scan.
+	overNode []float64
+	overLink []float64
+	// stageFns are the shard entry points, bound once so dispatching a
+	// stage allocates nothing.
+	stageFns [3]func(shard int)
 }
 
 // StepResult summarizes one LRGP iteration.
@@ -57,6 +88,20 @@ func NewEngine(p *model.Problem, cfg Config) (*Engine, error) {
 	c := cfg.normalized()
 	ix := model.NewIndex(p)
 
+	shards := 1
+	if c.Workers > 1 {
+		n := len(p.Flows)
+		if len(p.Nodes) > n {
+			n = len(p.Nodes)
+		}
+		if len(p.Links) > n {
+			n = len(p.Links)
+		}
+		if n >= minParallelItems {
+			shards = c.Workers
+		}
+	}
+
 	e := &Engine{
 		p:          p,
 		ix:         ix,
@@ -68,7 +113,11 @@ func NewEngine(p *model.Problem, cfg Config) (*Engine, error) {
 		linkPrices: make([]float64, len(p.Links)),
 		nodeGamma:  make([]gammaController, len(p.Nodes)),
 		solvers:    make([]*rateSolver, len(p.Flows)),
-		scratch:    make([]classBC, 0, len(p.Classes)),
+		shards:     shards,
+		scratch:    make([][]classBC, shards),
+	}
+	for s := range e.scratch {
+		e.scratch[s] = make([]classBC, 0, len(p.Classes))
 	}
 	for i := range p.Flows {
 		e.rates[i] = p.Flows[i].RateMin
@@ -82,81 +131,190 @@ func NewEngine(p *model.Problem, cfg Config) (*Engine, error) {
 	for l := range e.linkPrices {
 		e.linkPrices[l] = c.InitialLinkPrice
 	}
+	if shards > 1 {
+		e.overNode = make([]float64, shards)
+		e.overLink = make([]float64, shards)
+		e.stageFns = [3]func(int){e.rateShard, e.nodeShard, e.linkShard}
+		e.pool = newWorkerPool(shards - 1)
+		// Backstop for engines dropped without Close: idle workers hold no
+		// reference to e (see workerPool), so the finalizer can fire and
+		// release them.
+		runtime.SetFinalizer(e, (*Engine).Close)
+	}
 	return e, nil
+}
+
+// Close releases the engine's worker pool. It is a no-op for serial
+// engines and idempotent otherwise; the engine must not be stepped after
+// Close. Abandoned engines are closed by the garbage collector as a
+// backstop, but deterministic shutdown should call Close explicitly.
+func (e *Engine) Close() {
+	if e.pool != nil {
+		runtime.SetFinalizer(e, nil)
+		e.pool.close()
+	}
+}
+
+// shardRange returns shard s's half-open slice [lo, hi) of n items under
+// the engine's fixed contiguous partition. The boundaries depend only on
+// n, the shard count and s — never on scheduling — which is what makes
+// parallel execution deterministic.
+func (e *Engine) shardRange(n, s int) (lo, hi int) {
+	return n * s / e.shards, n * (s + 1) / e.shards
 }
 
 // Step performs one synchronous LRGP iteration: Algorithm 1 at every flow
 // source, then Algorithm 2 and the Equation 12 price update at every node,
-// then Algorithm 3 (Equation 13) for every link.
+// then Algorithm 3 (Equation 13) for every link. With Workers > 1 each
+// stage fans out over the worker pool and barriers before the next; every
+// stage is data-independent within itself (rates are per-flow, admissions
+// and node prices per-node, link prices per-link), so the parallel
+// schedule performs exactly the serial arithmetic and the result is
+// bit-identical for any worker count.
 func (e *Engine) Step() StepResult {
 	e.iteration++
+	res := StepResult{Iteration: e.iteration}
 
 	// 1. Rate allocation, using last iteration's populations and prices.
-	for i := range e.p.Flows {
-		if !e.active[i] {
-			e.rates[i] = 0
-			continue
+	if e.pool != nil && len(e.p.Flows) >= minParallelItems {
+		e.pool.run(e.stageFns[0], e.shards)
+	} else {
+		for i := range e.p.Flows {
+			e.rateOne(i)
 		}
-		price := e.flowPrice(model.FlowID(i))
-		e.rates[i] = e.solvers[i].solve(e.consumers, price)
 	}
 
 	// 2. Greedy consumer allocation and node price update.
-	res := StepResult{Iteration: e.iteration}
-	for b := range e.p.Nodes {
-		bid := model.NodeID(b)
-		out := admitNode(e.p, e.ix, bid, e.rates, e.active, e.consumers, e.scratch)
-		if over := out.used - e.p.Nodes[b].Capacity; over > res.MaxNodeOverload {
-			res.MaxNodeOverload = over
+	if e.pool != nil && len(e.p.Nodes) >= minParallelItems {
+		e.pool.run(e.stageFns[1], e.shards)
+		for _, over := range e.overNode {
+			if over > res.MaxNodeOverload {
+				res.MaxNodeOverload = over
+			}
 		}
-
-		gamma1, gamma2 := e.cfg.Gamma1, e.cfg.Gamma2
-		prev := e.nodePrices[b]
-		if e.cfg.Adaptive {
-			gamma1 = e.nodeGamma[b].gamma
-			gamma2 = gamma1
+	} else {
+		for b := range e.p.Nodes {
+			if over := e.nodeOne(b, e.scratch[0]); over > res.MaxNodeOverload {
+				res.MaxNodeOverload = over
+			}
 		}
-		capacity := e.p.Nodes[b].Capacity
-		next := nodePriceUpdate(prev, out.bestUnsatisfied, out.used, capacity, gamma1, gamma2)
-		if e.cfg.Adaptive {
-			e.nodeGamma[b].observe(priceGap(prev, out.bestUnsatisfied, out.used, capacity), prev)
-		}
-		e.nodePrices[b] = next
 	}
 
 	// 3. Link price update.
-	for l := range e.p.Links {
-		lid := model.LinkID(l)
-		used := 0.0
-		for _, i := range e.ix.FlowsByLink(lid) {
-			if e.active[i] {
-				used += e.p.Links[l].FlowCost[i] * e.rates[i]
+	if e.pool != nil && len(e.p.Links) >= minParallelItems {
+		e.pool.run(e.stageFns[2], e.shards)
+		for _, over := range e.overLink {
+			if over > res.MaxLinkOverload {
+				res.MaxLinkOverload = over
 			}
 		}
-		if over := used - e.p.Links[l].Capacity; over > res.MaxLinkOverload {
-			res.MaxLinkOverload = over
+	} else {
+		for l := range e.p.Links {
+			if over := e.linkOne(l); over > res.MaxLinkOverload {
+				res.MaxLinkOverload = over
+			}
 		}
-		e.linkPrices[l] = linkPriceUpdate(e.linkPrices[l], used, e.p.Links[l].Capacity, e.cfg.LinkGamma)
 	}
 
 	res.Utility = e.Utility()
 	return res
 }
 
+// rateOne runs Algorithm 1 for flow i (writes only e.rates[i]).
+func (e *Engine) rateOne(i int) {
+	if !e.active[i] {
+		e.rates[i] = 0
+		return
+	}
+	price := e.flowPrice(model.FlowID(i))
+	e.rates[i] = e.solvers[i].solve(e.consumers, price)
+}
+
+// nodeOne runs Algorithm 2 and the Equation 12 price update for node b,
+// returning the node's overload (usage minus capacity; possibly negative).
+// It writes only b's populations, price and gamma state.
+func (e *Engine) nodeOne(b int, scratch []classBC) float64 {
+	bid := model.NodeID(b)
+	out := admitNode(e.p, e.ix, bid, e.rates, e.active, e.consumers, scratch)
+	capacity := e.p.Nodes[b].Capacity
+
+	gamma1, gamma2 := e.cfg.Gamma1, e.cfg.Gamma2
+	prev := e.nodePrices[b]
+	if e.cfg.Adaptive {
+		gamma1 = e.nodeGamma[b].gamma
+		gamma2 = gamma1
+	}
+	next := nodePriceUpdate(prev, out.bestUnsatisfied, out.used, capacity, gamma1, gamma2)
+	if e.cfg.Adaptive {
+		e.nodeGamma[b].observe(priceGap(prev, out.bestUnsatisfied, out.used, capacity), prev)
+	}
+	e.nodePrices[b] = next
+	return out.used - capacity
+}
+
+// linkOne runs the Equation 13 update for link l, returning the link's
+// overload. It writes only e.linkPrices[l].
+func (e *Engine) linkOne(l int) float64 {
+	lid := model.LinkID(l)
+	used := 0.0
+	costs := e.ix.FlowCostsByLink(lid)
+	for k, i := range e.ix.FlowsByLink(lid) {
+		if e.active[i] {
+			used += costs[k] * e.rates[i]
+		}
+	}
+	capacity := e.p.Links[l].Capacity
+	e.linkPrices[l] = linkPriceUpdate(e.linkPrices[l], used, capacity, e.cfg.LinkGamma)
+	return used - capacity
+}
+
+// rateShard, nodeShard and linkShard execute one contiguous shard of their
+// stage; shard boundaries are fixed by the item count and shard count, so
+// every shard touches a disjoint index range.
+func (e *Engine) rateShard(s int) {
+	lo, hi := e.shardRange(len(e.p.Flows), s)
+	for i := lo; i < hi; i++ {
+		e.rateOne(i)
+	}
+}
+
+func (e *Engine) nodeShard(s int) {
+	lo, hi := e.shardRange(len(e.p.Nodes), s)
+	scratch, over := e.scratch[s], 0.0
+	for b := lo; b < hi; b++ {
+		if o := e.nodeOne(b, scratch); o > over {
+			over = o
+		}
+	}
+	e.overNode[s] = over
+}
+
+func (e *Engine) linkShard(s int) {
+	lo, hi := e.shardRange(len(e.p.Links), s)
+	over := 0.0
+	for l := lo; l < hi; l++ {
+		if o := e.linkOne(l); o > over {
+			over = o
+		}
+	}
+	e.overLink[s] = over
+}
+
 // flowPrice computes PL_i + PB_i (Equations 8 and 9) for flow i from the
-// current prices and populations.
+// current prices and populations, using the index's dense per-flow cost
+// views and precomputed per-(flow, node) class lists.
 func (e *Engine) flowPrice(i model.FlowID) float64 {
 	price := 0.0
-	for _, l := range e.ix.LinksByFlow(i) {
-		price += e.p.Links[l].FlowCost[i] * e.linkPrices[l]
+	lcosts := e.ix.LinkCostsByFlow(i)
+	for k, l := range e.ix.LinksByFlow(i) {
+		price += lcosts[k] * e.linkPrices[l]
 	}
-	for _, b := range e.ix.NodesByFlow(i) {
-		coeff := e.p.Nodes[b].FlowCost[i]
-		for _, cid := range e.ix.ClassesByNode(b) {
-			c := &e.p.Classes[cid]
-			if c.Flow == i {
-				coeff += c.CostPerConsumer * float64(e.consumers[cid])
-			}
+	ncosts := e.ix.NodeCostsByFlow(i)
+	classes := e.ix.ClassesByFlowNode(i)
+	for k, b := range e.ix.NodesByFlow(i) {
+		coeff := ncosts[k]
+		for _, cid := range classes[k] {
+			coeff += e.p.Classes[cid].CostPerConsumer * float64(e.consumers[cid])
 		}
 		price += coeff * e.nodePrices[b]
 	}
@@ -205,6 +363,11 @@ func (e *Engine) FlowActive(i model.FlowID) bool { return e.active[i] }
 // responding to changes in workload", Section 2.1). The next iteration's
 // greedy allocation picks the change up; prices adapt over the following
 // iterations.
+//
+// Like every Engine method, SetClassDemand is safe only between Step
+// calls: Step's worker goroutines read the class table and populations
+// without synchronization, so a mutation concurrent with Step is a data
+// race regardless of the worker count.
 func (e *Engine) SetClassDemand(j model.ClassID, maxConsumers int) error {
 	if j < 0 || int(j) >= len(e.p.Classes) {
 		return fmt.Errorf("core: unknown class %d", j)
@@ -220,7 +383,8 @@ func (e *Engine) SetClassDemand(j model.ClassID, maxConsumers int) error {
 }
 
 // SetNodeCapacity changes a node's capacity mid-run, modeling hardware
-// degradation or scale-out.
+// degradation or scale-out. Safe only between Step calls, never
+// concurrently with Step (see SetClassDemand).
 func (e *Engine) SetNodeCapacity(b model.NodeID, capacity float64) error {
 	if b < 0 || int(b) >= len(e.p.Nodes) {
 		return fmt.Errorf("core: unknown node %d", b)

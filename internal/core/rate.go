@@ -44,6 +44,15 @@ type rateSolver struct {
 	exponent float64
 	// scales[k] is the rank/scale of classes[k] (famLog/famPower).
 	scales []float64
+
+	// bisectFn is built on first use and reused so the famGeneral path
+	// does not allocate a closure per solve; bisectConsumers and
+	// bisectPrice carry its arguments for the duration of one Bisect
+	// call. A solver belongs to one flow and is driven by one goroutine
+	// at a time, so the reuse is race-free.
+	bisectFn        func(float64) float64
+	bisectConsumers []int
+	bisectPrice     float64
 }
 
 // newRateSolver inspects the classes of one flow and prepares the
@@ -126,9 +135,14 @@ func (rs *rateSolver) solve(consumers []int, price float64) float64 {
 		r := math.Pow(price/(a*rs.exponent), 1/(rs.exponent-1))
 		return clamp(r, rmin, rmax)
 	default:
-		r, err := solver.Bisect(func(r float64) float64 {
-			return rs.marginal(consumers, r) - price
-		}, rmin, rmax, solver.Options{})
+		if rs.bisectFn == nil {
+			rs.bisectFn = func(r float64) float64 {
+				return rs.marginal(rs.bisectConsumers, r) - rs.bisectPrice
+			}
+		}
+		rs.bisectConsumers, rs.bisectPrice = consumers, price
+		r, err := solver.Bisect(rs.bisectFn, rmin, rmax, solver.Options{})
+		rs.bisectConsumers = nil
 		if err != nil {
 			// The bracketing checks above guarantee a sign change; this
 			// is unreachable, but degrade to the safe lower bound.

@@ -23,6 +23,12 @@ type Snapshot struct {
 	LinkCapacity []float64
 	// FlowActive marks flows participating in iterations.
 	FlowActive []bool
+	// Workers is the engine's normalized worker count and Sharded reports
+	// whether Step actually fans out over the pool (large-enough problem
+	// and Workers > 1); results are identical either way, so these matter
+	// only for performance diagnostics.
+	Workers int
+	Sharded bool
 }
 
 // Snapshot captures the engine's complete current state. All slices are
@@ -40,6 +46,8 @@ func (e *Engine) Snapshot() Snapshot {
 		LinkUsage:    make([]float64, len(e.p.Links)),
 		LinkCapacity: make([]float64, len(e.p.Links)),
 		FlowActive:   make([]bool, len(e.p.Flows)),
+		Workers:      e.cfg.Workers,
+		Sharded:      e.pool != nil,
 	}
 	copy(s.FlowActive, e.active)
 

@@ -35,10 +35,11 @@ func AsyncExperiment(opts Options, timeout time.Duration) (*AsyncResult, error) 
 		timeout = 30 * time.Second
 	}
 
-	ref, err := core.NewEngine(workload.Base(), core.Config{Adaptive: true})
+	ref, err := core.NewEngine(workload.Base(), o.engineConfig(core.Config{Adaptive: true}))
 	if err != nil {
 		return nil, err
 	}
+	defer ref.Close()
 	want := ref.Solve(2 * o.Iterations).Utility
 
 	net := transport.NewMemory()
@@ -101,10 +102,11 @@ func AblationAdmission(opts Options) ([]AblationRow, error) {
 
 	var rows []AblationRow
 
-	e, err := core.NewEngine(p.Clone(), core.Config{Adaptive: true})
+	e, err := core.NewEngine(p.Clone(), o.engineConfig(core.Config{Adaptive: true}))
 	if err != nil {
 		return nil, err
 	}
+	defer e.Close()
 	res := e.Solve(2 * o.Iterations)
 	rows = append(rows, AblationRow{
 		Policy:   "lrgp",
@@ -185,10 +187,11 @@ func LinkBottleneckExperiment(opts Options, utilization float64) (*LinkResult, e
 		utilization = 0.015
 	}
 
-	base, err := core.NewEngine(workload.Base(), core.Config{Adaptive: true})
+	base, err := core.NewEngine(workload.Base(), o.engineConfig(core.Config{Adaptive: true}))
 	if err != nil {
 		return nil, err
 	}
+	defer base.Close()
 	baseline := base.Solve(2 * o.Iterations).Utility
 
 	// The link-price gradient stepsize must match the scale of the node
@@ -199,10 +202,11 @@ func LinkBottleneckExperiment(opts Options, utilization float64) (*LinkResult, e
 	// convergence rule because utility plateaus at quantized values
 	// while link prices are still climbing.
 	p := workload.WithLinkBottlenecks(workload.Base(), utilization)
-	e, err := core.NewEngine(p, core.Config{Adaptive: true, LinkGamma: 10})
+	e, err := core.NewEngine(p, o.engineConfig(core.Config{Adaptive: true, LinkGamma: 10}))
 	if err != nil {
 		return nil, err
 	}
+	defer e.Close()
 	iters := 8 * o.Iterations
 	ys := make([]float64, 0, iters)
 	for i := 0; i < iters; i++ {

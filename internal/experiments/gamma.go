@@ -53,11 +53,12 @@ func GammaControllerAblation(opts Options) ([]GammaRow, error) {
 
 		for si, shape := range workload.Table3Shapes() {
 			p := workload.Scaled(workload.Config{Shape: shape})
-			e, err := core.NewEngine(p, v.cfg)
+			e, err := core.NewEngine(p, o.engineConfig(v.cfg))
 			if err != nil {
 				return nil, err
 			}
 			res := e.Solve(2 * o.Iterations)
+			e.Close()
 			row.ConvergeIters[si] = res.ConvergedAt
 			if si == 0 {
 				row.FinalUtility = res.Utility
@@ -65,7 +66,7 @@ func GammaControllerAblation(opts Options) ([]GammaRow, error) {
 		}
 
 		// Recovery: remove flow 5 at the midpoint of a 2x horizon.
-		e, err := core.NewEngine(workload.Base(), v.cfg)
+		e, err := core.NewEngine(workload.Base(), o.engineConfig(v.cfg))
 		if err != nil {
 			return nil, err
 		}
@@ -78,6 +79,7 @@ func GammaControllerAblation(opts Options) ([]GammaRow, error) {
 			}
 			ys = append(ys, e.Step().Utility)
 		}
+		e.Close()
 		row.RecoveryIters = recoveryIters(ys, removeAt, 0.005)
 
 		rows = append(rows, row)

@@ -30,9 +30,9 @@ func TotalUtility(p *Problem, a Allocation) float64 {
 // i of G_{b,j} n_j r_i).
 func NodeUsage(p *Problem, ix *Index, a Allocation, b NodeID) float64 {
 	used := 0.0
-	node := &p.Nodes[b]
-	for _, i := range ix.FlowsByNode(b) {
-		used += node.FlowCost[i] * a.Rates[i]
+	costs := ix.FlowCostsByNode(b)
+	for k, i := range ix.FlowsByNode(b) {
+		used += costs[k] * a.Rates[i]
 	}
 	for _, cid := range ix.ClassesByNode(b) {
 		c := &p.Classes[cid]
@@ -46,9 +46,9 @@ func NodeUsage(p *Problem, ix *Index, a Allocation, b NodeID) float64 {
 // remainder c_b - NodeFlowUsage as its admission budget.
 func NodeFlowUsage(p *Problem, ix *Index, a Allocation, b NodeID) float64 {
 	used := 0.0
-	node := &p.Nodes[b]
-	for _, i := range ix.FlowsByNode(b) {
-		used += node.FlowCost[i] * a.Rates[i]
+	costs := ix.FlowCostsByNode(b)
+	for k, i := range ix.FlowsByNode(b) {
+		used += costs[k] * a.Rates[i]
 	}
 	return used
 }
@@ -57,9 +57,9 @@ func NodeFlowUsage(p *Problem, ix *Index, a Allocation, b NodeID) float64 {
 // sum over flows traversing l of L_{l,i} r_i.
 func LinkUsage(p *Problem, ix *Index, a Allocation, l LinkID) float64 {
 	used := 0.0
-	link := &p.Links[l]
-	for _, i := range ix.FlowsByLink(l) {
-		used += link.FlowCost[i] * a.Rates[i]
+	costs := ix.FlowCostsByLink(l)
+	for k, i := range ix.FlowsByLink(l) {
+		used += costs[k] * a.Rates[i]
 	}
 	return used
 }

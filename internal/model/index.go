@@ -5,6 +5,13 @@ package model
 // the optimizer's inner loops avoid repeated scans. Build it once per
 // Problem with NewIndex; it is immutable afterwards and safe for concurrent
 // reads.
+//
+// Beyond the membership lists, the index denormalizes the sparse cost maps
+// (Node.FlowCost, Link.FlowCost) into slices aligned with those lists, so
+// the optimizer's hot loops read contiguous float64s instead of hashing
+// map keys. The cost views are copies taken at NewIndex time: mutating a
+// cost map afterwards does not update the index (capacities and class
+// demands are not cached and may change between iterations).
 type Index struct {
 	p *Problem
 
@@ -22,6 +29,20 @@ type Index struct {
 	nodesByFlow [][]NodeID
 	// linksByFlow[i] lists the links traversed by flow i (L_i).
 	linksByFlow [][]LinkID
+
+	// flowCostByNode[b][k] is F_{b,i} for i = flowsByNode[b][k].
+	flowCostByNode [][]float64
+	// flowCostByLink[l][k] is L_{l,i} for i = flowsByLink[l][k].
+	flowCostByLink [][]float64
+	// nodeCostByFlow[i][k] is F_{b,i} for b = nodesByFlow[i][k].
+	nodeCostByFlow [][]float64
+	// linkCostByFlow[i][k] is L_{l,i} for l = linksByFlow[i][k].
+	linkCostByFlow [][]float64
+	// classesByFlowNode[i][k] lists the classes consuming flow i that are
+	// attached at node nodesByFlow[i][k], in ascending class order — the
+	// C_i ∩ nodeClasses(b) intersection the Equation 9 node-price
+	// aggregation needs for every (flow, node) pair each iteration.
+	classesByFlowNode [][][]ClassID
 }
 
 // NewIndex builds the index. The problem must already be valid (see
@@ -56,6 +77,56 @@ func NewIndex(p *Problem) *Index {
 			}
 		}
 	}
+
+	// Dense cost views, aligned element-for-element with the membership
+	// lists built above.
+	ix.flowCostByNode = make([][]float64, len(p.Nodes))
+	for b := range p.Nodes {
+		flows := ix.flowsByNode[b]
+		costs := make([]float64, len(flows))
+		for k, i := range flows {
+			costs[k] = p.Nodes[b].FlowCost[i]
+		}
+		ix.flowCostByNode[b] = costs
+	}
+	ix.flowCostByLink = make([][]float64, len(p.Links))
+	for l := range p.Links {
+		flows := ix.flowsByLink[l]
+		costs := make([]float64, len(flows))
+		for k, i := range flows {
+			costs[k] = p.Links[l].FlowCost[i]
+		}
+		ix.flowCostByLink[l] = costs
+	}
+	ix.nodeCostByFlow = make([][]float64, len(p.Flows))
+	ix.linkCostByFlow = make([][]float64, len(p.Flows))
+	ix.classesByFlowNode = make([][][]ClassID, len(p.Flows))
+	for i := range p.Flows {
+		fid := FlowID(i)
+		nodes := ix.nodesByFlow[i]
+		ncosts := make([]float64, len(nodes))
+		lists := make([][]ClassID, len(nodes))
+		for k, b := range nodes {
+			ncosts[k] = p.Nodes[b].FlowCost[fid]
+			// Both classesByFlow[i] and classesByNode[b] are in ascending
+			// class order, so filtering either yields the same sequence;
+			// filtering the (usually shorter) per-flow list is cheaper.
+			for _, cid := range ix.classesByFlow[i] {
+				if p.Classes[cid].Node == b {
+					lists[k] = append(lists[k], cid)
+				}
+			}
+		}
+		ix.nodeCostByFlow[i] = ncosts
+		ix.classesByFlowNode[i] = lists
+
+		links := ix.linksByFlow[i]
+		lcosts := make([]float64, len(links))
+		for k, l := range links {
+			lcosts[k] = p.Links[l].FlowCost[fid]
+		}
+		ix.linkCostByFlow[i] = lcosts
+	}
 	return ix
 }
 
@@ -79,3 +150,23 @@ func (ix *Index) NodesByFlow(i FlowID) []NodeID { return ix.nodesByFlow[i] }
 
 // LinksByFlow returns L_i, the links traversed by flow i.
 func (ix *Index) LinksByFlow(i FlowID) []LinkID { return ix.linksByFlow[i] }
+
+// FlowCostsByNode returns the F_{b,i} coefficients aligned with
+// FlowsByNode(b): FlowCostsByNode(b)[k] is the cost of FlowsByNode(b)[k].
+func (ix *Index) FlowCostsByNode(b NodeID) []float64 { return ix.flowCostByNode[b] }
+
+// FlowCostsByLink returns the L_{l,i} coefficients aligned with
+// FlowsByLink(l).
+func (ix *Index) FlowCostsByLink(l LinkID) []float64 { return ix.flowCostByLink[l] }
+
+// NodeCostsByFlow returns the F_{b,i} coefficients aligned with
+// NodesByFlow(i).
+func (ix *Index) NodeCostsByFlow(i FlowID) []float64 { return ix.nodeCostByFlow[i] }
+
+// LinkCostsByFlow returns the L_{l,i} coefficients aligned with
+// LinksByFlow(i).
+func (ix *Index) LinkCostsByFlow(i FlowID) []float64 { return ix.linkCostByFlow[i] }
+
+// ClassesByFlowNode returns, aligned with NodesByFlow(i), the classes
+// consuming flow i attached at each of those nodes (ascending class order).
+func (ix *Index) ClassesByFlowNode(i FlowID) [][]ClassID { return ix.classesByFlowNode[i] }

@@ -1,0 +1,145 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/utility"
+)
+
+// randomIndexProblem builds a random valid problem with links, exercising
+// every dense view the index precomputes.
+func randomIndexProblem(rng *rand.Rand) *Problem {
+	nFlows := 2 + rng.Intn(5)
+	nNodes := 2 + rng.Intn(5)
+	p := &Problem{
+		Name:  "index-test",
+		Flows: make([]Flow, nFlows),
+		Nodes: make([]Node, nNodes),
+	}
+	for b := range p.Nodes {
+		p.Nodes[b] = Node{ID: NodeID(b), Capacity: 1e5, FlowCost: map[FlowID]float64{}}
+	}
+	for i := range p.Flows {
+		p.Flows[i] = Flow{ID: FlowID(i), RateMin: 1, RateMax: 100}
+		// Reach a random nonempty node subset.
+		for b := range p.Nodes {
+			if rng.Intn(2) == 0 {
+				p.Nodes[b].FlowCost[FlowID(i)] = 1 + rng.Float64()
+			}
+		}
+		src := NodeID(rng.Intn(nNodes))
+		p.Nodes[src].FlowCost[FlowID(i)] = 1 + rng.Float64()
+		p.Flows[i].Source = src
+		// Classes at the nodes the flow reaches.
+		for b := range p.Nodes {
+			if _, ok := p.Nodes[b].FlowCost[FlowID(i)]; !ok {
+				continue
+			}
+			for k := 0; k < 1+rng.Intn(2); k++ {
+				p.Classes = append(p.Classes, Class{
+					ID:              ClassID(len(p.Classes)),
+					Flow:            FlowID(i),
+					Node:            NodeID(b),
+					MaxConsumers:    1 + rng.Intn(50),
+					CostPerConsumer: 1 + rng.Float64(),
+					Utility:         utility.NewLog(1 + rng.Float64()*10),
+				})
+			}
+		}
+	}
+	for l := 0; l < nFlows; l++ {
+		from := NodeID(rng.Intn(nNodes))
+		to := (from + 1) % NodeID(nNodes)
+		costs := map[FlowID]float64{}
+		for i := range p.Flows {
+			if rng.Intn(2) == 0 {
+				costs[FlowID(i)] = 1 + rng.Float64()
+			}
+		}
+		if len(costs) == 0 {
+			costs[FlowID(rng.Intn(nFlows))] = 1
+		}
+		p.Links = append(p.Links, Link{
+			ID: LinkID(l), From: from, To: to, Capacity: 1e4, FlowCost: costs,
+		})
+	}
+	return p
+}
+
+// TestIndexDenseViewsMatchMaps checks every dense cost view against the
+// sparse maps it denormalizes, and the per-(flow, node) class lists
+// against a direct filter of ClassesByNode.
+func TestIndexDenseViewsMatchMaps(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		p := randomIndexProblem(rng)
+		if err := Validate(p); err != nil {
+			t.Fatalf("trial %d: generated invalid problem: %v", trial, err)
+		}
+		ix := NewIndex(p)
+
+		for b := range p.Nodes {
+			bid := NodeID(b)
+			flows, costs := ix.FlowsByNode(bid), ix.FlowCostsByNode(bid)
+			if len(flows) != len(costs) {
+				t.Fatalf("node %d: %d flows vs %d costs", b, len(flows), len(costs))
+			}
+			for k, i := range flows {
+				if want := p.Nodes[b].FlowCost[i]; costs[k] != want {
+					t.Errorf("node %d flow %d: cost %g, want %g", b, i, costs[k], want)
+				}
+			}
+		}
+		for l := range p.Links {
+			lid := LinkID(l)
+			flows, costs := ix.FlowsByLink(lid), ix.FlowCostsByLink(lid)
+			if len(flows) != len(costs) {
+				t.Fatalf("link %d: %d flows vs %d costs", l, len(flows), len(costs))
+			}
+			for k, i := range flows {
+				if want := p.Links[l].FlowCost[i]; costs[k] != want {
+					t.Errorf("link %d flow %d: cost %g, want %g", l, i, costs[k], want)
+				}
+			}
+		}
+		for i := range p.Flows {
+			fid := FlowID(i)
+			nodes, ncosts := ix.NodesByFlow(fid), ix.NodeCostsByFlow(fid)
+			classes := ix.ClassesByFlowNode(fid)
+			if len(nodes) != len(ncosts) || len(nodes) != len(classes) {
+				t.Fatalf("flow %d: misaligned node views %d/%d/%d",
+					i, len(nodes), len(ncosts), len(classes))
+			}
+			for k, b := range nodes {
+				if want := p.Nodes[b].FlowCost[fid]; ncosts[k] != want {
+					t.Errorf("flow %d node %d: cost %g, want %g", i, b, ncosts[k], want)
+				}
+				var want []ClassID
+				for _, cid := range ix.ClassesByNode(b) {
+					if p.Classes[cid].Flow == fid {
+						want = append(want, cid)
+					}
+				}
+				got := classes[k]
+				if len(got) != len(want) {
+					t.Fatalf("flow %d node %d: classes %v, want %v", i, b, got, want)
+				}
+				for x := range want {
+					if got[x] != want[x] {
+						t.Errorf("flow %d node %d: classes %v, want %v", i, b, got, want)
+					}
+				}
+			}
+			links, lcosts := ix.LinksByFlow(fid), ix.LinkCostsByFlow(fid)
+			if len(links) != len(lcosts) {
+				t.Fatalf("flow %d: %d links vs %d costs", i, len(links), len(lcosts))
+			}
+			for k, l := range links {
+				if want := p.Links[l].FlowCost[fid]; lcosts[k] != want {
+					t.Errorf("flow %d link %d: cost %g, want %g", i, l, lcosts[k], want)
+				}
+			}
+		}
+	}
+}
