@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench bench-core fuzz experiments examples clean
+.PHONY: all build vet lint test race cover bench bench-core fuzz experiments examples telemetry-smoke clean
 
 all: build vet lint test
 
@@ -47,6 +47,12 @@ bench-core:
 fuzz:
 	$(GO) test -fuzz=FuzzBisectDecreasing -fuzztime=10s ./internal/solver/
 	$(GO) test -fuzz=FuzzSpecJSON -fuzztime=10s ./internal/utility/
+
+# End-to-end scrape of lrgp-broker's -telemetry-addr surface (Prometheus
+# counters, pprof, expvar, snapshot). RACE=1 builds the binary with the
+# race detector, as CI does.
+telemetry-smoke:
+	bash scripts/telemetry-smoke.sh
 
 # Regenerate every table and figure (see EXPERIMENTS.md).
 experiments:

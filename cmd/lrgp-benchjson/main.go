@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 )
@@ -32,13 +33,27 @@ type result struct {
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
-// record is the file layout: environment header plus results.
+// record is the file layout: environment header plus results. Goos
+// through CPU come from the bench output itself; GoVersion, GoMaxProcs
+// and NumCPU are stamped from the converting host (the same machine that
+// ran the benchmark in the `go test | lrgp-benchjson` pipeline), so a
+// recorded trajectory states the conditions it was measured under.
 type record struct {
 	Goos       string   `json:"goos,omitempty"`
 	Goarch     string   `json:"goarch,omitempty"`
 	Pkg        string   `json:"pkg,omitempty"`
 	CPU        string   `json:"cpu,omitempty"`
+	GoVersion  string   `json:"goVersion,omitempty"`
+	GoMaxProcs int      `json:"goMaxProcs,omitempty"`
+	NumCPU     int      `json:"numCPU,omitempty"`
 	Benchmarks []result `json:"benchmarks"`
+}
+
+// stampHost fills the host-environment fields of rec.
+func stampHost(rec *record) {
+	rec.GoVersion = runtime.Version()
+	rec.GoMaxProcs = runtime.GOMAXPROCS(0)
+	rec.NumCPU = runtime.NumCPU()
 }
 
 func main() {
@@ -49,6 +64,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lrgp-benchjson:", err)
 		os.Exit(1)
 	}
+	stampHost(rec)
 	w := io.Writer(os.Stdout)
 	if *out != "" {
 		f, err := os.Create(*out)

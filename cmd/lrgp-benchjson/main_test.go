@@ -1,6 +1,7 @@
 package main
 
 import (
+	"runtime"
 	"strings"
 	"testing"
 )
@@ -38,6 +39,19 @@ ok  	repro/internal/core	3.2s
 	}
 	if b2.BytesPerOp != nil {
 		t.Errorf("b2 unexpectedly has B/op: %v", *b2.BytesPerOp)
+	}
+}
+
+// TestStampHost: converted records carry the host environment so a
+// tracked perf trajectory states what it was measured on.
+func TestStampHost(t *testing.T) {
+	var rec record
+	stampHost(&rec)
+	if rec.GoVersion != runtime.Version() {
+		t.Errorf("GoVersion = %q, want %q", rec.GoVersion, runtime.Version())
+	}
+	if rec.GoMaxProcs < 1 || rec.NumCPU < 1 {
+		t.Errorf("GoMaxProcs = %d, NumCPU = %d, want >= 1", rec.GoMaxProcs, rec.NumCPU)
 	}
 }
 

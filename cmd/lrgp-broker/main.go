@@ -1,12 +1,21 @@
 // Command lrgp-broker demonstrates the full stack end to end: the LRGP
-// optimizer runs as a distributed cluster of message-passing agents (over
-// an in-memory or TCP transport), and its allocation is enacted by the
-// event broker — token-bucket rate limits at flow sources and admission
-// control on consumers — while synthetic producers publish traffic.
+// optimizer computes an allocation — either colocated (the synchronous
+// core.Engine, the default) or as a distributed cluster of
+// message-passing agents over an in-memory or TCP transport — and the
+// allocation is enacted by the event broker (token-bucket rate limits at
+// flow sources, admission control on consumers) while synthetic
+// producers publish traffic.
+//
+// With -telemetry-addr the process exposes its observability surface
+// over HTTP: Prometheus /metrics (engine stage timings, broker message
+// counters), /debug/pprof/*, /debug/vars and a /snapshot JSON view of
+// the optimizer state. See README.md "Observability".
 //
 // Usage:
 //
-//	lrgp-broker [-transport memory|tcp] [-rounds 120] [-publish-seconds 2]
+//	lrgp-broker [-optimizer colocated|dist] [-transport memory|tcp]
+//	            [-rounds 120] [-workers 0] [-publish-seconds 2]
+//	            [-telemetry-addr :9090]
 package main
 
 import (
@@ -14,12 +23,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/broker"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/model"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/workload"
 )
@@ -34,9 +45,12 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("lrgp-broker", flag.ContinueOnError)
 	var (
-		transportName = fs.String("transport", "memory", "transport for the optimizer agents: memory or tcp")
-		rounds        = fs.Int("rounds", 120, "synchronous LRGP rounds to run")
+		optimizer     = fs.String("optimizer", "colocated", "optimizer formulation: colocated (synchronous engine) or dist (message-passing agents)")
+		transportName = fs.String("transport", "memory", "transport for -optimizer dist: memory or tcp")
+		rounds        = fs.Int("rounds", 120, "LRGP iterations (colocated) or synchronous rounds (dist)")
+		workers       = fs.Int("workers", 0, "colocated engine Step workers (0 = GOMAXPROCS, 1 = serial)")
 		pubSeconds    = fs.Float64("publish-seconds", 2, "how long to publish synthetic traffic")
+		telemetryAddr = fs.String("telemetry-addr", "", "serve /metrics, /debug/pprof, /debug/vars and /snapshot on this address (e.g. :9090); empty disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -44,36 +58,85 @@ func run(args []string, out io.Writer) error {
 
 	p := workload.Base()
 
-	var net transport.Network
-	switch *transportName {
-	case "memory":
-		net = transport.NewMemory()
-	case "tcp":
-		net = transport.NewTCP()
-	default:
-		return fmt.Errorf("unknown -transport %q", *transportName)
+	// Telemetry is wired before any optimization so a scraper attached
+	// at startup observes the whole run. The handles stay nil without
+	// -telemetry-addr, which disables instrumentation entirely.
+	var (
+		em   *telemetry.EngineMetrics
+		bm   *telemetry.BrokerMetrics
+		snap atomic.Pointer[core.Snapshot]
+	)
+	if *telemetryAddr != "" {
+		reg := telemetry.NewRegistry()
+		em = telemetry.NewEngineMetrics(reg)
+		bm = telemetry.NewBrokerMetrics(reg)
+		mux := telemetry.NewMux(reg, func() (any, bool) {
+			s := snap.Load()
+			if s == nil {
+				return nil, false
+			}
+			return s, true
+		})
+		srv, err := telemetry.ListenAndServe(*telemetryAddr, mux)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "telemetry: listening on http://%s (/metrics /snapshot /debug/pprof /debug/vars)\n", srv.Addr)
 	}
-	defer net.Close()
 
-	fmt.Fprintf(out, "optimizing %s over %s transport (%d agents)...\n",
-		p.Name, *transportName, len(p.Flows)+len(p.Nodes))
-	cl, err := dist.New(p, dist.Config{Core: core.Config{Adaptive: true}}, net)
-	if err != nil {
-		return err
-	}
-	defer cl.Close()
-
+	var alloc model.Allocation
 	start := time.Now()
-	stats, err := cl.Run(*rounds, 2*time.Minute)
-	if err != nil {
-		return err
+	switch *optimizer {
+	case "colocated":
+		fmt.Fprintf(out, "optimizing %s with the colocated engine...\n", p.Name)
+		e, err := core.NewEngine(p, core.Config{Adaptive: true, Workers: *workers, Telemetry: em})
+		if err != nil {
+			return err
+		}
+		res := e.Solve(*rounds)
+		s := e.Snapshot()
+		snap.Store(&s)
+		e.Close()
+		alloc = res.Allocation
+		converged := "not converged"
+		if res.Converged {
+			converged = fmt.Sprintf("converged at %d", res.ConvergedAt)
+		}
+		fmt.Fprintf(out, "  %d iterations in %v, final utility %.0f (%s)\n",
+			res.Iterations, time.Since(start).Round(time.Millisecond), res.Utility, converged)
+	case "dist":
+		var net transport.Network
+		switch *transportName {
+		case "memory":
+			net = transport.NewMemory()
+		case "tcp":
+			net = transport.NewTCP()
+		default:
+			return fmt.Errorf("unknown -transport %q", *transportName)
+		}
+		defer net.Close()
+
+		fmt.Fprintf(out, "optimizing %s over %s transport (%d agents)...\n",
+			p.Name, *transportName, len(p.Flows)+len(p.Nodes))
+		cl, err := dist.New(p, dist.Config{Core: core.Config{Adaptive: true}}, net)
+		if err != nil {
+			return err
+		}
+		defer cl.Close()
+		stats, err := cl.Run(*rounds, 2*time.Minute)
+		if err != nil {
+			return err
+		}
+		alloc = cl.Allocation()
+		fmt.Fprintf(out, "  %d rounds in %v, final utility %.0f\n",
+			len(stats), time.Since(start).Round(time.Millisecond), stats[len(stats)-1].Utility)
+	default:
+		return fmt.Errorf("unknown -optimizer %q (want colocated or dist)", *optimizer)
 	}
-	alloc := cl.Allocation()
-	fmt.Fprintf(out, "  %d rounds in %v, final utility %.0f\n",
-		len(stats), time.Since(start).Round(time.Millisecond), stats[len(stats)-1].Utility)
 
 	// Stand up the broker, attach the full demand, enact the allocation.
-	b, err := broker.New(p)
+	b, err := broker.New(p, broker.WithTelemetry(bm))
 	if err != nil {
 		return err
 	}

@@ -2,18 +2,23 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"net/http"
+	"regexp"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 )
 
-func TestRunMemoryTransport(t *testing.T) {
+func TestRunColocatedDefault(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-rounds", "30", "-publish-seconds", "0.2"}, &out); err != nil {
+	if err := run([]string{"-rounds", "60", "-publish-seconds", "0.2"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	s := out.String()
 	for _, want := range []string{
-		"optimizing 6f-3n-log(1+r) over memory transport",
+		"optimizing 6f-3n-log(1+r) with the colocated engine",
 		"enacted allocation into broker",
 		"flow        rate",
 		"class       admitted/attached",
@@ -28,9 +33,27 @@ func TestRunMemoryTransport(t *testing.T) {
 	}
 }
 
+func TestRunMemoryTransport(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-optimizer", "dist", "-rounds", "30", "-publish-seconds", "0.2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"optimizing 6f-3n-log(1+r) over memory transport",
+		"enacted allocation into broker",
+		"flow        rate",
+		"class       admitted/attached",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
 func TestRunTCPTransport(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-transport", "tcp", "-rounds", "10", "-publish-seconds", "0.1"}, &out); err != nil {
+	if err := run([]string{"-optimizer", "dist", "-transport", "tcp", "-rounds", "10", "-publish-seconds", "0.1"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(out.String(), "over tcp transport") {
@@ -40,7 +63,113 @@ func TestRunTCPTransport(t *testing.T) {
 
 func TestRunUnknownTransport(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-transport", "carrier-pigeon"}, &out); err == nil {
+	if err := run([]string{"-optimizer", "dist", "-transport", "carrier-pigeon"}, &out); err == nil {
 		t.Error("unknown transport accepted")
+	}
+}
+
+func TestRunUnknownOptimizer(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-optimizer", "oracle"}, &out); err == nil {
+		t.Error("unknown optimizer accepted")
+	}
+}
+
+// syncBuffer lets the test read run's output while run is still writing
+// from another goroutine.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestRunTelemetryServesMetrics is the in-process version of the CI
+// telemetry smoke (scripts/telemetry-smoke.sh): start lrgp-broker with
+// -telemetry-addr, scrape /metrics mid-run, and assert the engine and
+// broker counter families are present and non-empty.
+func TestRunTelemetryServesMetrics(t *testing.T) {
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-rounds", "60", "-publish-seconds", "2",
+			"-telemetry-addr", "127.0.0.1:0",
+		}, out)
+	}()
+
+	// The listen line carries the resolved port.
+	addrRe := regexp.MustCompile(`listening on http://([0-9.:]+)`)
+	var addr string
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatalf("telemetry listen line never appeared:\n%s", out.String())
+	}
+
+	fetch := func(path string) (int, string, error) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			return 0, "", err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body), err
+	}
+
+	// Poll /metrics until the engine has stepped and the broker has
+	// published (the 2s publish window keeps the server alive).
+	stepsRe := regexp.MustCompile(`(?m)^lrgp_engine_steps_total ([1-9][0-9]*)$`)
+	pubRe := regexp.MustCompile(`(?m)^lrgp_broker_published_total ([1-9][0-9]*)$`)
+	var metrics string
+	ok := false
+	for deadline := time.Now().Add(10 * time.Second); time.Now().Before(deadline); {
+		_, body, err := fetch("/metrics")
+		if err == nil && stepsRe.MatchString(body) && pubRe.MatchString(body) {
+			metrics, ok = body, true
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !ok {
+		t.Fatalf("engine/broker counters never became non-empty:\n%s", metrics)
+	}
+	for _, want := range []string{
+		`lrgp_engine_stage_seconds_bucket{stage="rate",le="+Inf"}`,
+		`lrgp_engine_stage_seconds_bucket{stage="admission",le="+Inf"}`,
+		`lrgp_engine_stage_seconds_bucket{stage="price",le="+Inf"}`,
+		"lrgp_engine_utility",
+		"lrgp_broker_consumers_admitted",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	if code, body, err := fetch("/debug/pprof/cmdline"); err != nil || code != http.StatusOK || body == "" {
+		t.Errorf("/debug/pprof/cmdline = %d (%v)", code, err)
+	}
+	if code, body, err := fetch("/snapshot"); err != nil || code != http.StatusOK ||
+		!strings.Contains(body, "Utility") {
+		t.Errorf("/snapshot = %d (%v):\n%.200s", code, err, body)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatal(err)
 	}
 }

@@ -6,6 +6,13 @@
 //
 //	lrgp-experiments [-run all|fig1|fig2|fig3|fig4|table2|table3|async|ablation|links|prune|overhead|gamma|multirate]
 //	                 [-iters 250] [-sa-steps 1000000] [-seed 1] [-workers 0] [-csv] [-chart]
+//	                 [-trace-out run.jsonl]
+//
+// -trace-out records a structured JSONL iteration trace (one
+// telemetry.IterationRecord per line: rates, consumer populations,
+// prices, stage wall times, admission churn) of a traced base-workload
+// run, in addition to whatever -run selects; use `-run none -trace-out
+// run.jsonl` to record only the trace.
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -38,12 +46,19 @@ func run(args []string, out io.Writer) error {
 		csv      = fs.Bool("csv", false, "emit figures/tables as CSV instead of text")
 		markdown = fs.Bool("markdown", false, "emit tables as GitHub-flavored Markdown")
 		chart    = fs.Bool("chart", true, "draw ASCII charts for figures")
+		traceOut = fs.String("trace-out", "", "record a JSONL iteration trace of a base-workload run to this file (use with -run none to record only the trace)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	opts := experiments.Options{Iterations: *iters, SASteps: *saSteps, Seed: *seed, Workers: *workers}
+
+	if *traceOut != "" {
+		if err := recordTrace(out, opts, *traceOut); err != nil {
+			return err
+		}
+	}
 
 	want := make(map[string]bool)
 	for _, name := range strings.Split(*runSpec, ",") {
@@ -199,5 +214,34 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "  converged         no\n\n")
 		}
 	}
+	return nil
+}
+
+// recordTrace runs the traced base-workload solve and writes its JSONL
+// iteration trace to path.
+func recordTrace(out io.Writer, opts experiments.Options, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	tw := telemetry.NewTraceWriter(f)
+	res, err := experiments.TracedRun(opts, tw)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := tw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	converged := "not converged"
+	if res.Converged {
+		converged = fmt.Sprintf("converged at %d", res.ConvergedAt)
+	}
+	fmt.Fprintf(out, "trace: wrote %d iteration records to %s (utility %.0f, %s)\n\n",
+		res.Iterations, path, res.Utility, converged)
 	return nil
 }

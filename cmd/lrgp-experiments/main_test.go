@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/telemetry"
 )
 
 func TestRunSelectedExperiments(t *testing.T) {
@@ -57,6 +61,34 @@ func TestRunMarkdownOutput(t *testing.T) {
 	}
 	if !strings.Contains(s, "|---|") {
 		t.Errorf("missing markdown separator:\n%s", s)
+	}
+}
+
+// TestRunTraceOut: `-run none -trace-out x.jsonl` records only the JSONL
+// iteration trace, and the file decodes with telemetry.ReadTrace.
+func TestRunTraceOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	var out bytes.Buffer
+	if err := run([]string{"-run", "none", "-trace-out", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "trace: wrote") {
+		t.Errorf("missing trace summary line:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "Figure 1") {
+		t.Errorf("-run none still ran experiments:\n%s", out.String())
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := telemetry.ReadTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 || recs[0].Iteration != 1 || recs[0].Utility <= 0 {
+		t.Errorf("trace malformed: %d records, first %+v", len(recs), recs[0])
 	}
 }
 

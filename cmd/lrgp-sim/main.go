@@ -5,7 +5,11 @@
 //
 //	lrgp-sim [-workload base|tiny|12f-6n|@file.json] [-shape log|r0.25|r0.5|r0.75]
 //	         [-iters 250] [-gamma 0.1] [-adaptive] [-workers 0] [-multirate]
-//	         [-verbose] [-chart] [-csv] [-json] [-alloc]
+//	         [-verbose] [-chart] [-csv] [-json] [-alloc] [-telemetry-addr :9090]
+//
+// With -telemetry-addr the run serves Prometheus /metrics, /debug/pprof,
+// /debug/vars and /snapshot while it executes — attach a profiler or
+// scraper to a long solve — and shuts the endpoint down when it exits.
 package main
 
 import (
@@ -14,10 +18,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/multirate"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -44,6 +50,7 @@ func run(args []string, out io.Writer) error {
 		multi        = fs.Bool("multirate", false, "use the multirate extension (per-class delivery rates)")
 		verbose      = fs.Bool("verbose", false, "print per-node and per-link diagnostics")
 		jsonOut      = fs.Bool("json", false, "emit the result as JSON (machine-readable)")
+		telAddr      = fs.String("telemetry-addr", "", "serve /metrics, /debug/pprof, /debug/vars and /snapshot on this address while the run executes; empty disables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,6 +70,23 @@ func run(args []string, out io.Writer) error {
 		cfg.Gamma1 = *gamma
 		cfg.Gamma2 = *gamma
 	}
+	var snap atomic.Pointer[core.Snapshot]
+	if *telAddr != "" {
+		reg := telemetry.NewRegistry()
+		cfg.Telemetry = telemetry.NewEngineMetrics(reg)
+		srv, err := telemetry.ListenAndServe(*telAddr, telemetry.NewMux(reg, func() (any, bool) {
+			s := snap.Load()
+			if s == nil {
+				return nil, false
+			}
+			return s, true
+		}))
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "telemetry  listening on http://%s (/metrics /snapshot /debug/pprof /debug/vars)\n", srv.Addr)
+	}
 	if *multi {
 		return runMultirate(out, p, cfg, *iters, *showAlloc)
 	}
@@ -72,6 +96,10 @@ func run(args []string, out io.Writer) error {
 	}
 	defer e.Close()
 	res := e.Solve(*iters)
+	if *telAddr != "" {
+		s := e.Snapshot()
+		snap.Store(&s)
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(out)
@@ -116,6 +144,7 @@ func run(args []string, out io.Writer) error {
 
 	if *verbose {
 		s := e.Snapshot()
+		fmt.Fprintf(out, "snapshot  %s\n", s.String())
 		tb := trace.NewTable("node diagnostics", "node", "usage", "capacity", "load", "price", "gamma")
 		for b := range p.Nodes {
 			tb.Add(p.Nodes[b].Name,

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"net/http"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -83,6 +85,29 @@ func TestRunVerboseDiagnostics(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "== node diagnostics ==") {
 		t.Errorf("missing diagnostics:\n%s", out.String())
+	}
+	// The Snapshot.String() summary line precedes the tables.
+	sumRe := regexp.MustCompile(`snapshot  iter=\d+ utility=[\d.]+ .*workers=\d+ \((serial|sharded)\)`)
+	if !sumRe.MatchString(out.String()) {
+		t.Errorf("missing snapshot summary line:\n%s", out.String())
+	}
+}
+
+// TestRunTelemetryAddr: with -telemetry-addr the sim prints the resolved
+// listen address before solving and tears the server down on return.
+// (Mid-run scraping is covered by the lrgp-broker in-process smoke and
+// the telemetry package's own HTTP tests.)
+func TestRunTelemetryAddr(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-workload", "tiny", "-iters", "30", "-telemetry-addr", "127.0.0.1:0"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	m := regexp.MustCompile(`telemetry  listening on http://([0-9.:]+)`).FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("missing telemetry listen line:\n%s", out.String())
+	}
+	if _, err := http.Get("http://" + m[1] + "/metrics"); err == nil {
+		t.Error("telemetry server still reachable after run returned")
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/telemetry"
 )
 
 // ConsumerID identifies an attached consumer.
@@ -92,6 +93,12 @@ type Broker struct {
 	// recover the paper's F/G resource-model coefficients from observed
 	// broker behavior.
 	work uint64
+
+	// tel, when non-nil, mirrors the broker's accounting into the
+	// telemetry registry (message counters, fan-out histogram, consumer
+	// gauges). All ObserveX methods are nil-safe, so the uninstrumented
+	// broker pays one branch per call site.
+	tel *telemetry.BrokerMetrics
 }
 
 // Option configures a Broker.
@@ -122,6 +129,19 @@ func (o transformOption) apply(b *Broker) {
 // WithTransform installs a per-class message transformation.
 func WithTransform(class model.ClassID, tr Transform) Option {
 	return transformOption{class: class, tr: tr}
+}
+
+type telemetryOption struct {
+	m *telemetry.BrokerMetrics
+}
+
+func (o telemetryOption) apply(b *Broker) { b.tel = o.m }
+
+// WithTelemetry mirrors the broker's accounting into m (see
+// telemetry.NewBrokerMetrics). A nil handle is valid and leaves the
+// broker uninstrumented.
+func WithTelemetry(m *telemetry.BrokerMetrics) Option {
+	return telemetryOption{m: m}
 }
 
 // New builds a broker for the problem. Flows start rate-limited at their
@@ -176,7 +196,18 @@ func (b *Broker) AttachConsumer(class model.ClassID, filter Filter, h Handler) (
 	c := &consumer{id: id, class: class, filter: filter, handler: h}
 	b.classes[class].consumers = append(b.classes[class].consumers, c)
 	b.byID[id] = c
+	b.tel.ObserveConsumers(b.consumerTotalsLocked())
 	return id, nil
+}
+
+// consumerTotalsLocked returns the attached and admitted consumer counts
+// across all classes. Callers must hold b.mu.
+func (b *Broker) consumerTotalsLocked() (attached, admitted int) {
+	attached = len(b.byID)
+	for j := range b.classes {
+		admitted += b.classes[j].admitted
+	}
+	return attached, admitted
 }
 
 // DetachConsumer removes a consumer entirely.
@@ -198,6 +229,7 @@ func (b *Broker) DetachConsumer(id ConsumerID) error {
 	if c.admitted {
 		cs.admitted--
 	}
+	b.tel.ObserveConsumers(b.consumerTotalsLocked())
 	return nil
 }
 
@@ -242,6 +274,8 @@ func (b *Broker) ApplyAllocation(a model.Allocation) error {
 		}
 		cs.admitted = want
 	}
+	b.tel.ObserveAllocation()
+	b.tel.ObserveConsumers(b.consumerTotalsLocked())
 	return nil
 }
 
@@ -258,11 +292,13 @@ func (b *Broker) Publish(flow model.FlowID, attrs map[string]float64, body strin
 	b.mu.Lock()
 	if !b.buckets[flow].Allow(now) {
 		b.pub[flow].Throttled++
+		b.tel.ObserveThrottle()
 		b.mu.Unlock()
 		return ErrThrottled
 	}
 	b.seq[flow]++
 	b.pub[flow].Published++
+	workBefore := b.work
 	b.work++ // per-message routing work
 	msg := Message{
 		Flow:  flow,
@@ -278,6 +314,7 @@ func (b *Broker) Publish(flow model.FlowID, attrs map[string]float64, body strin
 		msg Message
 	}
 	var work []delivery
+	filtered := 0
 	for _, cid := range b.ix.ClassesByFlow(flow) {
 		cs := &b.classes[cid]
 		if cs.admitted == 0 {
@@ -285,6 +322,7 @@ func (b *Broker) Publish(flow model.FlowID, attrs map[string]float64, body strin
 		}
 		if cs.thinner != nil && !cs.thinner.Allow(now) {
 			cs.thinned++
+			b.tel.ObserveThinned()
 			continue
 		}
 		classMsg := msg
@@ -302,9 +340,11 @@ func (b *Broker) Publish(flow model.FlowID, attrs map[string]float64, body strin
 				work = append(work, delivery{c: c, msg: classMsg})
 			} else {
 				c.filtered++
+				filtered++
 			}
 		}
 	}
+	b.tel.ObservePublish(len(work), filtered, b.work-workBefore)
 	b.mu.Unlock()
 
 	for _, d := range work {

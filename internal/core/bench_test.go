@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/model"
+	"repro/internal/telemetry"
 	"repro/internal/utility"
 	"repro/internal/workload"
 )
@@ -28,6 +29,61 @@ func BenchmarkEngineStepLarge(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkEngineStepMedium is the reference point for the telemetry
+// overhead bound: ISSUE 3 requires the enabled-path cost to stay under 5%
+// of this benchmark's ns/op (compare against
+// BenchmarkEngineStepTelemetryOn, which runs the same workload).
+func BenchmarkEngineStepMedium(b *testing.B) {
+	p := workload.Scaled(workload.Config{FlowCopies: 8, NodeSetCopies: 4})
+	e, err := NewEngine(p, Config{Adaptive: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+// BenchmarkEngineStepTelemetryOff / ...On measure the instrumentation
+// cost on the medium workload. Off is asserted allocation-free (the
+// nil-handle path must stay one predictable branch); On differs only by
+// Config.Telemetry and the two clock reads per stage.
+func BenchmarkEngineStepTelemetryOff(b *testing.B) {
+	p := workload.Scaled(workload.Config{FlowCopies: 8, NodeSetCopies: 4})
+	e, err := NewEngine(p, Config{Adaptive: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	e.Step()
+	if allocs := testing.AllocsPerRun(10, func() { e.Step() }); allocs > 0 {
+		b.Fatalf("%v allocs per untelemetered Step, want 0", allocs)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}
+
+func BenchmarkEngineStepTelemetryOn(b *testing.B) {
+	p := workload.Scaled(workload.Config{FlowCopies: 8, NodeSetCopies: 4})
+	em := telemetry.NewEngineMetrics(telemetry.NewRegistry())
+	e, err := NewEngine(p, Config{Adaptive: true, Telemetry: em})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.Step()

@@ -21,7 +21,11 @@
 // message-passing agents.
 package core
 
-import "runtime"
+import (
+	"runtime"
+
+	"repro/internal/telemetry"
+)
 
 // Default stepsizes and bounds. The paper constrains the node-price
 // stepsize gamma to [0.001, 0.1] after the damping study (Section 4.2) and
@@ -93,6 +97,14 @@ type Config struct {
 	// Default 0.
 	InitialNodePrice float64
 	InitialLinkPrice float64
+	// Telemetry, when non-nil, receives per-Step instrumentation: stage
+	// wall times, utility, overloads, price-update counts and (from
+	// Solve) convergence state. The default nil keeps Step free of all
+	// timing calls and observation work — the disabled path is one
+	// branch per stage and preserves the 0 allocs/op guarantee. The
+	// enabled path is lock-free and also allocation-free; its only cost
+	// is the clock reads and atomic updates.
+	Telemetry *telemetry.EngineMetrics
 }
 
 // WithDefaults returns the configuration with every unset field replaced

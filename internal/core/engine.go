@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/model"
@@ -76,6 +77,11 @@ type StepResult struct {
 	MaxNodeOverload float64
 	// MaxLinkOverload is the largest link usage minus capacity.
 	MaxLinkOverload float64
+	// StageNanos holds the wall time of the rate, admission and
+	// link-price stages (indexed by telemetry.StageRate/StageAdmission/
+	// StagePrice). Populated only when Config.Telemetry is set; all
+	// zero otherwise, so the untelemetered Step never reads the clock.
+	StageNanos [3]int64
 }
 
 // NewEngine validates the problem and prepares an engine. The initial state
@@ -175,6 +181,14 @@ func (e *Engine) Step() StepResult {
 	e.iteration++
 	res := StepResult{Iteration: e.iteration}
 
+	// Stage timing exists only on the telemetry path: the tel == nil
+	// branches keep the disabled Step free of clock reads entirely.
+	tel := e.cfg.Telemetry
+	var t0 time.Time
+	if tel != nil {
+		t0 = time.Now()
+	}
+
 	// 1. Rate allocation, using last iteration's populations and prices.
 	if e.pool != nil && len(e.p.Flows) >= minParallelItems {
 		e.pool.run(e.stageFns[0], e.shards)
@@ -182,6 +196,11 @@ func (e *Engine) Step() StepResult {
 		for i := range e.p.Flows {
 			e.rateOne(i)
 		}
+	}
+	if tel != nil {
+		now := time.Now()
+		res.StageNanos[0] = now.Sub(t0).Nanoseconds()
+		t0 = now
 	}
 
 	// 2. Greedy consumer allocation and node price update.
@@ -199,6 +218,11 @@ func (e *Engine) Step() StepResult {
 			}
 		}
 	}
+	if tel != nil {
+		now := time.Now()
+		res.StageNanos[1] = now.Sub(t0).Nanoseconds()
+		t0 = now
+	}
 
 	// 3. Link price update.
 	if e.pool != nil && len(e.p.Links) >= minParallelItems {
@@ -215,8 +239,16 @@ func (e *Engine) Step() StepResult {
 			}
 		}
 	}
+	if tel != nil {
+		res.StageNanos[2] = time.Since(t0).Nanoseconds()
+	}
 
 	res.Utility = e.Utility()
+	if tel != nil {
+		tel.ObserveStep(res.StageNanos, res.Utility,
+			res.MaxNodeOverload, res.MaxLinkOverload,
+			len(e.p.Nodes), len(e.p.Links))
+	}
 	return res
 }
 
@@ -474,6 +506,7 @@ func (e *Engine) Solve(maxIter int) Result {
 			break
 		}
 	}
+	e.cfg.Telemetry.ObserveConvergence(det.Converged(), det.ConvergedAt())
 	return Result{
 		Utility:     trace[len(trace)-1],
 		Iterations:  len(trace),

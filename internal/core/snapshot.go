@@ -1,6 +1,11 @@
 package core
 
-import "repro/internal/model"
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+)
 
 // Snapshot is a full diagnostic view of the engine's state at one
 // iteration, for observability tooling (lrgp-sim -verbose) and debugging.
@@ -29,6 +34,40 @@ type Snapshot struct {
 	// only for performance diagnostics.
 	Workers int
 	Sharded bool
+}
+
+// String renders a one-line summary of the snapshot: iteration, utility,
+// peak node and link load, and the execution mode (worker count, whether
+// Step is sharded over the pool).
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "iter=%d utility=%.1f", s.Iteration, s.Utility)
+	if load, ok := peakLoad(s.NodeUsage, s.NodeCapacity); ok {
+		fmt.Fprintf(&b, " peak-node-load=%.1f%%", 100*load)
+	}
+	if load, ok := peakLoad(s.LinkUsage, s.LinkCapacity); ok {
+		fmt.Fprintf(&b, " peak-link-load=%.1f%%", 100*load)
+	}
+	mode := "serial"
+	if s.Sharded {
+		mode = "sharded"
+	}
+	fmt.Fprintf(&b, " workers=%d (%s)", s.Workers, mode)
+	return b.String()
+}
+
+// peakLoad returns the largest usage/capacity ratio, skipping resources
+// with non-positive capacity; ok is false when no resource qualifies.
+func peakLoad(usage, capacity []float64) (load float64, ok bool) {
+	for i := range usage {
+		if i >= len(capacity) || capacity[i] <= 0 {
+			continue
+		}
+		if r := usage[i] / capacity[i]; !ok || r > load {
+			load, ok = r, true
+		}
+	}
+	return load, ok
 }
 
 // Snapshot captures the engine's complete current state. All slices are

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/workload"
@@ -49,5 +50,34 @@ func TestSnapshot(t *testing.T) {
 	}
 	if !e.FlowActive(0) {
 		t.Error("FlowActive aliases engine state")
+	}
+}
+
+// TestSnapshotString checks the one-line summary: iteration, utility,
+// peak loads, and the workers/sharded execution mode.
+func TestSnapshotString(t *testing.T) {
+	p := workload.WithLinkBottlenecks(workload.Base(), 0.5)
+	e, err := NewEngine(p, Config{Adaptive: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	e.Solve(50)
+
+	got := e.Snapshot().String()
+	for _, want := range []string{"iter=50", "utility=", "peak-node-load=", "peak-link-load=", "workers=1 (serial)"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("String() = %q, missing %q", got, want)
+		}
+	}
+
+	sharded := Snapshot{Iteration: 3, Utility: 12.5, Workers: 8, Sharded: true}
+	if s := sharded.String(); !strings.Contains(s, "workers=8 (sharded)") {
+		t.Errorf("sharded String() = %q", s)
+	}
+	// No usable capacities → no load terms rather than NaN/Inf noise.
+	empty := Snapshot{NodeUsage: []float64{1}, NodeCapacity: []float64{0}}
+	if s := empty.String(); strings.Contains(s, "load") {
+		t.Errorf("zero-capacity String() = %q, want no load terms", s)
 	}
 }

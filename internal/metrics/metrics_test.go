@@ -150,3 +150,104 @@ func TestTailAmplitudeZeroMean(t *testing.T) {
 		t.Error("zero-mean amplitude not +Inf")
 	}
 }
+
+// TestSeriesSingleObservation: every statistic of a one-element series
+// collapses to that element.
+func TestSeriesSingleObservation(t *testing.T) {
+	var s Series
+	s.Append(7)
+	if s.Min() != 7 || s.Max() != 7 || s.Mean() != 7 || s.Last() != 7 {
+		t.Errorf("Min/Max/Mean/Last = %g/%g/%g/%g, want all 7",
+			s.Min(), s.Max(), s.Mean(), s.Last())
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := s.Quantile(q); got != 7 {
+			t.Errorf("Quantile(%g) = %g, want 7", q, got)
+		}
+	}
+	if !math.IsInf(s.TailAmplitude(2), 1) {
+		t.Error("window larger than series should give +Inf amplitude")
+	}
+}
+
+// TestSeriesEmptyQuantile: quantiles of an empty series are 0, matching
+// the other empty-series statistics, for any q including out-of-range.
+func TestSeriesEmptyQuantile(t *testing.T) {
+	var s Series
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := s.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+}
+
+// TestSeriesNaNAndInf: non-finite observations propagate rather than
+// panic. NaN poisons min/max/mean (IEEE semantics through math.Min/Max);
+// +Inf dominates Max and drives Mean and TailAmplitude to +Inf.
+func TestSeriesNaNAndInf(t *testing.T) {
+	var nan Series
+	nan.Append(1)
+	nan.Append(math.NaN())
+	if !math.IsNaN(nan.Mean()) {
+		t.Errorf("Mean with NaN = %g, want NaN", nan.Mean())
+	}
+	if !math.IsNaN(nan.Min()) || !math.IsNaN(nan.Max()) {
+		t.Errorf("Min/Max with NaN = %g/%g, want NaN (math.Min/Max propagate)",
+			nan.Min(), nan.Max())
+	}
+
+	var inf Series
+	inf.Append(1)
+	inf.Append(math.Inf(1))
+	if !math.IsInf(inf.Max(), 1) || !math.IsInf(inf.Mean(), 1) {
+		t.Errorf("Max/Mean with +Inf = %g/%g, want +Inf", inf.Max(), inf.Mean())
+	}
+	if inf.Min() != 1 {
+		t.Errorf("Min with +Inf = %g, want 1", inf.Min())
+	}
+	// (hi-lo)/|mean| = Inf/Inf = NaN: a non-finite utility can never
+	// satisfy `amplitude <= threshold`, so convergence correctly never
+	// fires on such a series.
+	if got := inf.TailAmplitude(2); !math.IsNaN(got) {
+		t.Errorf("TailAmplitude with +Inf = %g, want NaN", got)
+	}
+}
+
+// TestConvergenceDetectorResetAfterMutation models the recovery
+// experiment: a converged run, a workload mutation that moves the
+// equilibrium, a Reset, and re-detection at the new level with iteration
+// numbering restarted from 1.
+func TestConvergenceDetectorResetAfterMutation(t *testing.T) {
+	d := NewConvergenceDetector(3, 0.01)
+	for i := 0; i < 5; i++ {
+		d.Observe(100)
+	}
+	if !d.Converged() || d.ConvergedAt() != 3 {
+		t.Fatalf("setup: converged=%v at %d", d.Converged(), d.ConvergedAt())
+	}
+
+	// The mutation perturbs the series; without Reset the detector would
+	// stay latched converged (Observe returns true regardless).
+	if !d.Observe(500) {
+		t.Error("latched detector released by a post-convergence spike")
+	}
+
+	d.Reset()
+	if d.Converged() || d.ConvergedAt() != -1 {
+		t.Fatal("Reset did not clear the verdict")
+	}
+	// Recovery transient at the new equilibrium: the detector must not
+	// fire on the residual window and must renumber iterations from 1.
+	for i, v := range []float64{500, 350, 200, 200, 201} {
+		converged := d.Observe(v)
+		if i < 4 && converged {
+			t.Fatalf("converged during transient at post-reset iteration %d", i+1)
+		}
+	}
+	if !d.Converged() {
+		t.Fatal("did not re-detect convergence at the new level")
+	}
+	if got := d.ConvergedAt(); got != 5 {
+		t.Errorf("post-reset ConvergedAt = %d, want 5 (numbering restarts)", got)
+	}
+}

@@ -1,0 +1,95 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket histogram with lock-free observation:
+// per-bucket atomic counters plus a CAS-maintained float sum. The bucket
+// layout is fixed at construction, so Observe never allocates, locks or
+// resizes — the property the instrumented hot paths rely on.
+type Histogram struct {
+	// upper holds the ascending finite bucket upper bounds; counts has
+	// one extra slot for the implicit +Inf bucket. Counts are stored
+	// per-bucket (not cumulative) and accumulated at render time.
+	upper   []float64
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	if len(buckets) == 0 {
+		panic("telemetry: histogram needs at least one bucket bound")
+	}
+	upper := make([]float64, len(buckets))
+	copy(upper, buckets)
+	sort.Float64s(upper)
+	for i := 1; i < len(upper); i++ {
+		if upper[i] == upper[i-1] {
+			panic(fmt.Sprintf("telemetry: duplicate histogram bucket bound %g", upper[i]))
+		}
+	}
+	return &Histogram{upper: upper, counts: make([]atomic.Uint64, len(upper)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveSeconds records a duration given in nanoseconds as seconds, the
+// unit the stage-timing histograms are registered in.
+func (h *Histogram) ObserveSeconds(nanos int64) {
+	h.Observe(float64(nanos) / 1e9)
+}
+
+// CountSum returns the total observation count and value sum. The two
+// loads are not a single atomic snapshot; under concurrent observation
+// they may straddle an Observe, which scrape-style consumers tolerate.
+func (h *Histogram) CountSum() (uint64, float64) {
+	return h.count.Load(), math.Float64frombits(h.sumBits.Load())
+}
+
+// writePrometheus renders the cumulative `_bucket` series plus `_sum` and
+// `_count` samples.
+func (h *Histogram) writePrometheus(w io.Writer, name, labels string) {
+	cum := uint64(0)
+	for i, bound := range h.upper {
+		cum += h.counts[i].Load()
+		writeSample(w, name+"_bucket", labels, fmt.Sprintf("le=%q", formatValue(bound)), float64(cum))
+	}
+	cum += h.counts[len(h.upper)].Load()
+	writeSample(w, name+"_bucket", labels, `le="+Inf"`, float64(cum))
+	count, sum := h.CountSum()
+	writeSample(w, name+"_sum", labels, "", sum)
+	writeSample(w, name+"_count", labels, "", float64(count))
+}
+
+// DurationBuckets is the fixed bucket layout (seconds) used by the stage
+// and latency histograms: 1µs to 5s in 1-5 decades. Sub-microsecond
+// stages land in the first bucket; anything slower than 5s is +Inf.
+func DurationBuckets() []float64 {
+	return []float64{
+		1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4,
+		1e-3, 5e-3, 1e-2, 5e-2, 0.1, 0.5, 1, 5,
+	}
+}
+
+// FanoutBuckets is the fixed bucket layout for per-publish delivery
+// fan-out (messages handed to consumers by one Publish).
+func FanoutBuckets() []float64 {
+	return []float64{0, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}
+}

@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// SnapshotFunc supplies the /snapshot endpoint's payload (typically a
+// core.Snapshot). Returning ok=false means no snapshot is available yet;
+// the endpoint answers 503 with a pending marker. The function must be
+// safe for concurrent use — it is called from HTTP handler goroutines.
+type SnapshotFunc func() (any, bool)
+
+// expvarOnce guards the process-wide expvar publication of the first
+// registry; expvar names are global and cannot be published twice.
+var expvarOnce sync.Once
+
+// NewMux returns an http.ServeMux exposing the telemetry surface:
+//
+//	/metrics          Prometheus text exposition of reg
+//	/debug/pprof/*    runtime profiles (CPU, heap, goroutine, trace, ...)
+//	/debug/vars       expvar JSON (includes the registry under "lrgp")
+//	/snapshot         JSON of the latest engine snapshot (503 until one exists)
+//	/                 plain-text endpoint index
+//
+// snapshot may be nil, in which case /snapshot always reports pending.
+func NewMux(reg *Registry, snapshot SnapshotFunc) *http.ServeMux {
+	expvarOnce.Do(func() {
+		expvar.Publish("lrgp", expvar.Func(func() any { return reg.Snapshot() }))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			// The response is already partially written; nothing to do
+			// beyond abandoning it.
+			return
+		}
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var payload any
+		ok := false
+		if snapshot != nil {
+			payload, ok = snapshot()
+		}
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"status":"pending"}`)
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(payload)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "lrgp telemetry endpoints:")
+		for _, ep := range []string{"/metrics", "/snapshot", "/debug/pprof/", "/debug/vars"} {
+			fmt.Fprintf(w, "  %s\n", ep)
+		}
+	})
+	return mux
+}
+
+// Server is a running telemetry HTTP server.
+type Server struct {
+	// Addr is the resolved listen address (useful with ":0").
+	Addr string
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ListenAndServe binds addr (e.g. ":9090" or "127.0.0.1:0"), serves h on
+// it in a background goroutine, and returns once the listener is bound so
+// callers can print the resolved address and proceed. Close the returned
+// server to release the port.
+func ListenAndServe(addr string, h http.Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: %w", err)
+	}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 10 * time.Second}
+	s := &Server{Addr: ln.Addr().String(), ln: ln, srv: srv}
+	go func() {
+		// ErrServerClosed (and listener-closed errors) are the normal
+		// shutdown path; there is no caller left to report others to.
+		_ = srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Close stops the server and releases the listener. Idempotent.
+func (s *Server) Close() error {
+	return s.srv.Close()
+}

@@ -1,0 +1,108 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestMuxEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("t_mux_total", "Mux test counter.").Add(9)
+	snapshotReady := false
+	mux := NewMux(reg, func() (any, bool) {
+		if !snapshotReady {
+			return nil, false
+		}
+		return map[string]any{"utility": 123.0}, true
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	if code, body := get(t, srv, "/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, "t_mux_total 9") {
+		t.Errorf("/metrics = %d:\n%s", code, body)
+	}
+
+	if code, body := get(t, srv, "/snapshot"); code != http.StatusServiceUnavailable ||
+		!strings.Contains(body, "pending") {
+		t.Errorf("pending /snapshot = %d: %s", code, body)
+	}
+	snapshotReady = true
+	code, body := get(t, srv, "/snapshot")
+	if code != http.StatusOK {
+		t.Fatalf("/snapshot = %d: %s", code, body)
+	}
+	var snap map[string]float64
+	if err := json.Unmarshal([]byte(body), &snap); err != nil || snap["utility"] != 123 {
+		t.Errorf("snapshot payload = %q (%v)", body, err)
+	}
+
+	if code, body := get(t, srv, "/debug/pprof/cmdline"); code != http.StatusOK || body == "" {
+		t.Errorf("/debug/pprof/cmdline = %d", code)
+	}
+	if code, body := get(t, srv, "/debug/vars"); code != http.StatusOK ||
+		!strings.Contains(body, "memstats") {
+		t.Errorf("/debug/vars = %d:\n%.200s", code, body)
+	}
+	if code, body := get(t, srv, "/"); code != http.StatusOK ||
+		!strings.Contains(body, "/metrics") {
+		t.Errorf("index = %d:\n%s", code, body)
+	}
+	if code, _ := get(t, srv, "/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path = %d, want 404", code)
+	}
+}
+
+func TestMuxNilSnapshotFunc(t *testing.T) {
+	srv := httptest.NewServer(NewMux(NewRegistry(), nil))
+	defer srv.Close()
+	if code, _ := get(t, srv, "/snapshot"); code != http.StatusServiceUnavailable {
+		t.Errorf("/snapshot with nil func = %d, want 503", code)
+	}
+}
+
+func TestListenAndServe(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("t_serve_total", "Serve test counter.").Inc()
+	s, err := ListenAndServe("127.0.0.1:0", NewMux(reg, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if !strings.Contains(s.Addr, ":") {
+		t.Fatalf("unresolved addr %q", s.Addr)
+	}
+	resp, err := http.Get("http://" + s.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "t_serve_total 1") {
+		t.Errorf("served metrics:\n%s", body)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	if _, err := http.Get("http://" + s.Addr + "/metrics"); err == nil {
+		t.Error("server still reachable after Close")
+	}
+}

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# telemetry-smoke.sh — end-to-end scrape of the observability surface.
+#
+# Builds lrgp-broker (race-instrumented when RACE=1), starts it with
+# -telemetry-addr, polls /metrics until the engine and broker counter
+# families are present and non-zero, checks /debug/pprof and /snapshot,
+# and fails loudly otherwise. Run via `make telemetry-smoke`; CI runs it
+# with RACE=1.
+set -euo pipefail
+
+PORT="${PORT:-9090}"
+ADDR="127.0.0.1:${PORT}"
+BIN="$(mktemp -d)/lrgp-broker"
+OUT="$(mktemp)"
+
+cleanup() {
+    [ -n "${BROKER_PID:-}" ] && kill "${BROKER_PID}" 2>/dev/null || true
+    rm -rf "$(dirname "${BIN}")" "${OUT}"
+}
+trap cleanup EXIT
+
+build_flags=()
+if [ "${RACE:-0}" = "1" ]; then
+    build_flags+=(-race)
+fi
+echo "telemetry-smoke: building lrgp-broker ${build_flags[*]:-}"
+go build "${build_flags[@]}" -o "${BIN}" ./cmd/lrgp-broker
+
+# A generous publish window keeps the server alive while we poll; the
+# script kills the process as soon as the checks pass.
+"${BIN}" -telemetry-addr "${ADDR}" -rounds 120 -publish-seconds 30 >"${OUT}" 2>&1 &
+BROKER_PID=$!
+
+fetch() { curl -sf --max-time 5 "http://${ADDR}$1"; }
+
+echo "telemetry-smoke: waiting for non-empty engine/broker counters on ${ADDR}"
+deadline=$((SECONDS + 60))
+while :; do
+    if ! kill -0 "${BROKER_PID}" 2>/dev/null; then
+        echo "telemetry-smoke: lrgp-broker exited early:" >&2
+        cat "${OUT}" >&2
+        exit 1
+    fi
+    if metrics="$(fetch /metrics 2>/dev/null)" \
+        && grep -Eq '^lrgp_engine_steps_total [1-9]' <<<"${metrics}" \
+        && grep -Eq '^lrgp_broker_published_total [1-9]' <<<"${metrics}"; then
+        break
+    fi
+    if [ "${SECONDS}" -ge "${deadline}" ]; then
+        echo "telemetry-smoke: counters never became non-empty; last scrape:" >&2
+        echo "${metrics:-<no response>}" >&2
+        cat "${OUT}" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+for family in \
+    'lrgp_engine_stage_seconds_bucket{stage="rate"' \
+    'lrgp_engine_stage_seconds_bucket{stage="admission"' \
+    'lrgp_engine_stage_seconds_bucket{stage="price"' \
+    lrgp_engine_utility \
+    lrgp_engine_converged \
+    lrgp_broker_consumers_admitted; do
+    if ! grep -Fq "${family}" <<<"${metrics}"; then
+        echo "telemetry-smoke: /metrics missing ${family}" >&2
+        exit 1
+    fi
+done
+
+fetch /debug/pprof/cmdline >/dev/null || { echo "telemetry-smoke: pprof unreachable" >&2; exit 1; }
+fetch /debug/vars | grep -q '"lrgp"' || { echo "telemetry-smoke: expvar missing lrgp" >&2; exit 1; }
+fetch /snapshot | grep -q '"Utility"' || { echo "telemetry-smoke: snapshot missing Utility" >&2; exit 1; }
+
+echo "telemetry-smoke: OK (engine steps, broker counters, stage histograms, pprof, expvar, snapshot)"
