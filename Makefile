@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench bench-core fuzz experiments examples telemetry-smoke clean
+.PHONY: all build vet lint test race cover bench bench-core bench-broker fuzz experiments examples telemetry-smoke clean
 
 all: build vet lint test
 
@@ -42,6 +42,14 @@ bench:
 bench-core:
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/core/ \
 		| $(GO) run ./cmd/lrgp-benchjson -out BENCH_core.json
+
+# Broker data-plane benchmarks recorded as JSON. -cpu=1,4 captures the
+# contended scaling of the lock-free publish path (BENCH_broker.json in
+# the repo additionally keeps the pre-refactor mutex baseline under
+# *MutexBaseline names for comparison).
+bench-broker:
+	$(GO) test -run='^$$' -bench='Publish|ApplyAllocation' -benchmem -cpu=1,4 ./internal/broker/ \
+		| $(GO) run ./cmd/lrgp-benchjson -out BENCH_broker.json
 
 # Short fuzzing pass over the solver and utility-spec fuzz targets.
 fuzz:

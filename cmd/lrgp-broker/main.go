@@ -15,7 +15,7 @@
 //
 //	lrgp-broker [-optimizer colocated|dist] [-transport memory|tcp]
 //	            [-rounds 120] [-workers 0] [-publish-seconds 2]
-//	            [-telemetry-addr :9090]
+//	            [-producers 1] [-telemetry-addr :9090]
 package main
 
 import (
@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -50,6 +51,7 @@ func run(args []string, out io.Writer) error {
 		rounds        = fs.Int("rounds", 120, "LRGP iterations (colocated) or synchronous rounds (dist)")
 		workers       = fs.Int("workers", 0, "colocated engine Step workers (0 = GOMAXPROCS, 1 = serial)")
 		pubSeconds    = fs.Float64("publish-seconds", 2, "how long to publish synthetic traffic")
+		producersN    = fs.Int("producers", 1, "concurrent producer goroutines generating the synthetic traffic (flows are spread round-robin; several producers may share a flow)")
 		telemetryAddr = fs.String("telemetry-addr", "", "serve /metrics, /debug/pprof, /debug/vars and /snapshot on this address (e.g. :9090); empty disables")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -140,12 +142,14 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	delivered := make([]int, len(p.Classes))
+	// Handlers run concurrently once -producers > 1, so the demo's own
+	// receipt counters must be atomic like any real consumer's.
+	delivered := make([]atomic.Uint64, len(p.Classes))
 	for j, c := range p.Classes {
 		j := j
 		for k := 0; k < c.MaxConsumers; k++ {
 			if _, err := b.AttachConsumer(model.ClassID(j), nil, func(broker.Message) {
-				delivered[j]++
+				delivered[j].Add(1)
 			}); err != nil {
 				return err
 			}
@@ -156,27 +160,78 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "enacted allocation into broker (%d consumers attached)\n", totalAttached(p))
 
-	// Publish at each flow's allocated rate for a while; the token
-	// buckets should admit nearly everything, and over-publish should be
-	// throttled.
-	fmt.Fprintf(out, "publishing for %.1fs at allocated rates (plus 2x over-publish on flow 0)...\n", *pubSeconds)
-	deadline := time.Now().Add(time.Duration(*pubSeconds * float64(time.Second)))
-	next := make([]time.Time, len(p.Flows))
-	for time.Now().Before(deadline) {
-		now := time.Now()
-		for i := range p.Flows {
-			rate := alloc.Rates[i]
-			if i == 0 {
-				rate *= 2 // deliberately exceed flow 0's allocation
-			}
-			if rate <= 0 || now.Before(next[i]) {
-				continue
-			}
-			_ = b.Publish(model.FlowID(i), map[string]float64{"price": 80}, "tick")
-			next[i] = now.Add(time.Duration(float64(time.Second) / rate))
-		}
-		time.Sleep(200 * time.Microsecond)
+	// Publish at each flow's allocated rate for a while, spread over
+	// -producers concurrent goroutines driving the broker's lock-free
+	// publish path; the token buckets should admit nearly everything,
+	// and over-publish should be throttled. Flows are assigned round-
+	// robin; when producers outnumber flows, the sharers split their
+	// flow's target rate so the aggregate offered load is unchanged.
+	nProd := *producersN
+	if nProd < 1 {
+		nProd = 1
 	}
+	fmt.Fprintf(out, "publishing for %.1fs at allocated rates with %d concurrent producers (plus 2x over-publish on flow 0)...\n",
+		*pubSeconds, nProd)
+	assigned := make([][]model.FlowID, nProd)
+	share := make([]float64, len(p.Flows))
+	if nProd >= len(p.Flows) {
+		for g := 0; g < nProd; g++ {
+			i := g % len(p.Flows)
+			assigned[g] = []model.FlowID{model.FlowID(i)}
+			share[i]++
+		}
+	} else {
+		for i := range p.Flows {
+			g := i % nProd
+			assigned[g] = append(assigned[g], model.FlowID(i))
+			share[i] = 1
+		}
+	}
+	deadline := time.Now().Add(time.Duration(*pubSeconds * float64(time.Second)))
+	var wg sync.WaitGroup
+	producers := make([][]*broker.Producer, nProd)
+	for g := 0; g < nProd; g++ {
+		producers[g] = make([]*broker.Producer, len(assigned[g]))
+		for k, flow := range assigned[g] {
+			pr, err := b.RegisterProducer(flow)
+			if err != nil {
+				return err
+			}
+			producers[g][k] = pr
+		}
+		wg.Add(1)
+		go func(flows []model.FlowID, prs []*broker.Producer) {
+			defer wg.Done()
+			attrs := map[string]float64{"price": 80} // read-only once published
+			next := make([]time.Time, len(flows))
+			for time.Now().Before(deadline) {
+				now := time.Now()
+				for k, i := range flows {
+					rate := alloc.Rates[i] / share[i]
+					if i == 0 {
+						rate *= 2 // deliberately exceed flow 0's allocation
+					}
+					if rate <= 0 || now.Before(next[k]) {
+						continue
+					}
+					_ = prs[k].Publish(attrs, "tick")
+					next[k] = now.Add(time.Duration(float64(time.Second) / rate))
+				}
+				time.Sleep(200 * time.Microsecond)
+			}
+		}(assigned[g], producers[g])
+	}
+	wg.Wait()
+	var prodPublished, prodThrottled uint64
+	for g := range producers {
+		for _, pr := range producers[g] {
+			st := pr.Stats()
+			prodPublished += st.Published
+			prodThrottled += st.Throttled
+		}
+	}
+	fmt.Fprintf(out, "producer path: %d goroutines published=%d throttled=%d\n",
+		nProd, prodPublished, prodThrottled)
 
 	fmt.Fprintln(out, "\nflow        rate      published  throttled")
 	for i := range p.Flows {

@@ -1,10 +1,12 @@
 package broker
 
 import (
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/utility"
 	"repro/internal/workload"
 )
 
@@ -36,6 +38,103 @@ func BenchmarkPublishFanout(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// fanProblem builds a problem with `flows` flows, one Identity class per
+// flow, for the publish-path benchmarks. Rates go up to 1e9 msg/s so a
+// real-clock benchmark loop (refilling 1e9 tokens/s from a 1e9-token
+// burst) never sees a throttle.
+func fanProblem(flows int) *model.Problem {
+	p := &model.Problem{Name: "fan"}
+	for i := 0; i < flows; i++ {
+		p.Flows = append(p.Flows, model.Flow{
+			ID: model.FlowID(i), Name: "f", Source: model.NodeID(i), RateMin: 10, RateMax: 1e9,
+		})
+		p.Nodes = append(p.Nodes, model.Node{
+			ID: model.NodeID(i), Capacity: 9e9,
+			FlowCost: map[model.FlowID]float64{model.FlowID(i): 1},
+		})
+		p.Classes = append(p.Classes, model.Class{
+			ID: model.ClassID(i), Name: "c", Flow: model.FlowID(i), Node: model.NodeID(i),
+			MaxConsumers: 64, CostPerConsumer: 1, Utility: utility.NewLog(10),
+		})
+	}
+	return p
+}
+
+// benchBrokerFlows builds a broker over `flows` flows with `consumers`
+// admitted filtered consumers per flow, all on the Identity transform.
+// The broker runs on the real clock (the production configuration —
+// shared fake clocks serialize parallel benchmarks on their own atomic).
+func benchBrokerFlows(tb testing.TB, flows, consumers int) *Broker {
+	tb.Helper()
+	p := fanProblem(flows)
+	br, err := New(p)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	// Each consumer counts receipts on its own cache line; a counter
+	// shared across consumers would serialize the parallel benchmarks on
+	// the handler instead of the broker.
+	type paddedCount struct {
+		n atomic.Uint64
+		_ [120]byte
+	}
+	alloc := model.NewAllocation(p)
+	for i := 0; i < flows; i++ {
+		for k := 0; k < consumers; k++ {
+			recv := new(paddedCount)
+			if _, err := br.AttachConsumer(model.ClassID(i),
+				AttrFilter{Attr: "price", Op: CmpGT, Value: 50},
+				func(Message) { recv.n.Add(1) }); err != nil {
+				tb.Fatal(err)
+			}
+		}
+		alloc.Rates[i] = 1e9
+		alloc.Consumers[i] = consumers
+	}
+	if err := br.ApplyAllocation(alloc); err != nil {
+		tb.Fatal(err)
+	}
+	return br
+}
+
+// BenchmarkPublishParallel is the contention worst case: every goroutine
+// publishes on the same single hot flow (8 admitted consumers, Identity
+// transform). Before the copy-on-write data plane this serialized on the
+// broker's global mutex; run with -cpu=1,4 to see the scaling.
+func BenchmarkPublishParallel(b *testing.B) {
+	br := benchBrokerFlows(b, 1, 8)
+	attrs := map[string]float64{"price": 80}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := br.Publish(0, attrs, "x"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPublishMultiFlow spreads publishers over 16 flows (8 admitted
+// consumers each): the no-sharing best case where per-flow state should
+// let distinct flows publish without contending at all.
+func BenchmarkPublishMultiFlow(b *testing.B) {
+	const flows = 16
+	br := benchBrokerFlows(b, flows, 8)
+	attrs := map[string]float64{"price": 80}
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		flow := model.FlowID(next.Add(1) % flows)
+		for pb.Next() {
+			if err := br.Publish(flow, attrs, "x"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkApplyAllocation measures enactment cost on the base workload

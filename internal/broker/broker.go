@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/model"
@@ -14,7 +15,12 @@ import (
 type ConsumerID int
 
 // Handler receives messages delivered to one consumer. Handlers run
-// synchronously inside Publish and must return quickly.
+// synchronously inside Publish and must return quickly. Concurrent
+// publishes on a flow may invoke the same handler concurrently, so
+// handlers must be safe for concurrent use. The delivered Message's
+// Attrs map is read-only by contract: on the Identity-transform fast
+// path it is the producer's own map, shared by every consumer of the
+// message (see Message.Attrs).
 type Handler func(m Message)
 
 // Errors returned by broker operations.
@@ -25,19 +31,22 @@ var (
 	ErrThrottled       = errors.New("broker: rate limit exceeded")
 )
 
-// consumer is one attached consumer.
+// consumer is one attached consumer. The fields are control-plane owned:
+// filter and handler are immutable after attach, and admitted is only
+// read and written under Broker.mu — the data plane sees consumers
+// exclusively through the admitted lists of immutable route snapshots.
 type consumer struct {
 	id       ConsumerID
 	class    model.ClassID
 	filter   Filter
 	handler  Handler
 	admitted bool
-
-	delivered uint64
-	filtered  uint64
 }
 
-// classState tracks per-class enactment and accounting.
+// classState is the authoritative (control-plane) state of one class.
+// The broker mutex guards transform, consumers, admitted and thinner
+// installation; the counter block is updated with atomics from both
+// planes and shared by pointer with every route snapshot.
 type classState struct {
 	transform Transform
 	// attach-ordered consumers; admission follows this order (earliest
@@ -48,8 +57,8 @@ type classState struct {
 	// flow's source rate (multirate thinning: elastic consumers receive
 	// a subsampled stream, per the latest-price scenario's "reducing
 	// the frequency of updates").
-	thinner *TokenBucket
-	thinned uint64
+	thinner  *TokenBucket
+	counters classCounters
 }
 
 // FlowStats reports one flow's publish-side accounting.
@@ -59,7 +68,9 @@ type FlowStats struct {
 	Rate      float64
 }
 
-// ClassStats reports one class's delivery-side accounting.
+// ClassStats reports one class's delivery-side accounting. Delivered and
+// Filtered are cumulative class totals: they keep counting across
+// consumer churn and are not reduced when a consumer detaches.
 type ClassStats struct {
 	Attached  int
 	Admitted  int
@@ -72,32 +83,46 @@ type ClassStats struct {
 
 // Broker hosts the flows and consumer classes of one problem instance and
 // enacts optimizer allocations. All methods are safe for concurrent use.
+//
+// The broker is split into a lock-free data plane and a mutex-serialized
+// control plane. Publish reads an immutable routing snapshot through an
+// atomic pointer and touches only its flow's own sharded state, so
+// publishes on distinct flows never contend and publishes on the same
+// flow contend only on that flow's token bucket. Control operations
+// (attach/detach, ApplyAllocation, SetClassRateCap) serialize on the
+// mutex and publish a rebuilt snapshot (copy-on-write); a publish racing
+// a control change delivers against whichever snapshot it loaded.
 type Broker struct {
 	p  *model.Problem
 	ix *model.Index
 
 	now func() time.Time
 
+	// Data plane: per-flow shards and the routing snapshot. Stats
+	// methods read these without locking. The abstract work counter
+	// (one unit per message routed, per class transform applied, per
+	// filter evaluation, per delivery — regressed by the calibrate
+	// package to recover the paper's F/G resource-model coefficients)
+	// is sharded into the flowStates; each Publish folds its units into
+	// a single atomic add on its own flow's shard, so the total is
+	// exact under concurrency and deterministic for a fixed serial
+	// publish sequence.
+	flows []flowState
+	route atomic.Pointer[routeTable]
+
+	// Control plane, guarded by mu.
 	mu           sync.Mutex
-	buckets      []*TokenBucket
-	seq          []uint64
-	pub          []FlowStats
 	classes      []classState
 	nextID       ConsumerID
 	byID         map[ConsumerID]*consumer
 	nextProducer int
 	producers    map[ProducerID]*Producer
-	// work counts abstract work units: one per message routed, one per
-	// class transform applied, one per filter evaluation, one per
-	// delivery. The calibrate package regresses these counters to
-	// recover the paper's F/G resource-model coefficients from observed
-	// broker behavior.
-	work uint64
 
 	// tel, when non-nil, mirrors the broker's accounting into the
 	// telemetry registry (message counters, fan-out histogram, consumer
-	// gauges). All ObserveX methods are nil-safe, so the uninstrumented
-	// broker pays one branch per call site.
+	// gauges). All ObserveX methods are nil-safe and lock-free, so the
+	// uninstrumented broker pays one branch per call site and the
+	// instrumented data plane stays mutex-free.
 	tel *telemetry.BrokerMetrics
 }
 
@@ -112,7 +137,8 @@ type clockOption struct {
 
 func (o clockOption) apply(b *Broker) { b.now = o.now }
 
-// WithClock injects a time source (deterministic tests).
+// WithClock injects a time source (deterministic tests). Under
+// concurrent publishing the source must be safe for concurrent use.
 func WithClock(now func() time.Time) Option {
 	return clockOption{now: now}
 }
@@ -155,9 +181,7 @@ func New(p *model.Problem, opts ...Option) (*Broker, error) {
 		p:         p,
 		ix:        model.NewIndex(p),
 		now:       time.Now,
-		buckets:   make([]*TokenBucket, len(p.Flows)),
-		seq:       make([]uint64, len(p.Flows)),
-		pub:       make([]FlowStats, len(p.Flows)),
+		flows:     make([]flowState, len(p.Flows)),
 		classes:   make([]classState, len(p.Classes)),
 		byID:      make(map[ConsumerID]*consumer),
 		producers: make(map[ProducerID]*Producer),
@@ -170,9 +194,10 @@ func New(p *model.Problem, opts ...Option) (*Broker, error) {
 	}
 	start := b.now()
 	for i, f := range p.Flows {
-		b.buckets[i] = NewTokenBucket(f.RateMin, 0, start)
-		b.pub[i].Rate = f.RateMin
+		b.flows[i].bucket = NewTokenBucket(f.RateMin, 0, start)
+		b.flows[i].setRate(f.RateMin)
 	}
+	b.rebuildRouteLocked()
 	return b, nil
 }
 
@@ -181,7 +206,8 @@ func (b *Broker) Problem() *model.Problem { return b.p }
 
 // AttachConsumer registers a consumer in a class. The consumer receives
 // messages only once admission control admits it (ApplyAllocation). A nil
-// filter matches everything.
+// filter matches everything. Filters must be safe for concurrent use and
+// must treat the message — including its Attrs map — as read-only.
 func (b *Broker) AttachConsumer(class model.ClassID, filter Filter, h Handler) (ConsumerID, error) {
 	if class < 0 || int(class) >= len(b.p.Classes) {
 		return 0, fmt.Errorf("%w: %d", ErrUnknownClass, class)
@@ -194,7 +220,9 @@ func (b *Broker) AttachConsumer(class model.ClassID, filter Filter, h Handler) (
 	id := b.nextID
 	b.nextID++
 	c := &consumer{id: id, class: class, filter: filter, handler: h}
-	b.classes[class].consumers = append(b.classes[class].consumers, c)
+	cs := &b.classes[class]
+	cs.consumers = append(cs.consumers, c)
+	cs.counters.attached.Add(1)
 	b.byID[id] = c
 	b.tel.ObserveConsumers(b.consumerTotalsLocked())
 	return id, nil
@@ -210,7 +238,9 @@ func (b *Broker) consumerTotalsLocked() (attached, admitted int) {
 	return attached, admitted
 }
 
-// DetachConsumer removes a consumer entirely.
+// DetachConsumer removes a consumer entirely. In-flight publishes that
+// loaded the routing snapshot before the detach may still deliver to the
+// consumer's handler.
 func (b *Broker) DetachConsumer(id ConsumerID) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -226,9 +256,12 @@ func (b *Broker) DetachConsumer(id ConsumerID) error {
 			break
 		}
 	}
+	cs.counters.attached.Add(-1)
 	if c.admitted {
 		cs.admitted--
+		cs.counters.admitted.Add(-1)
 	}
+	b.rebuildRouteLocked()
 	b.tel.ObserveConsumers(b.consumerTotalsLocked())
 	return nil
 }
@@ -248,7 +281,8 @@ func (b *Broker) Admitted(id ConsumerID) (bool, error) {
 // re-rated and each class admits (or unadmits) consumers to match n_j.
 // Admission is capped by the number of attached consumers; earlier
 // attachments are admitted first and the latest admitted are unadmitted
-// first when shrinking.
+// first when shrinking. The change becomes visible to publishers as one
+// atomic snapshot swap.
 func (b *Broker) ApplyAllocation(a model.Allocation) error {
 	if len(a.Rates) != len(b.p.Flows) || len(a.Consumers) != len(b.p.Classes) {
 		return fmt.Errorf("broker: allocation shape %d/%d, want %d/%d",
@@ -258,8 +292,8 @@ func (b *Broker) ApplyAllocation(a model.Allocation) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for i, r := range a.Rates {
-		b.buckets[i].SetRate(r, now)
-		b.pub[i].Rate = r
+		b.flows[i].bucket.SetRate(r, now)
+		b.flows[i].setRate(r)
 	}
 	for j, want := range a.Consumers {
 		cs := &b.classes[j]
@@ -273,7 +307,9 @@ func (b *Broker) ApplyAllocation(a model.Allocation) error {
 			c.admitted = k < want
 		}
 		cs.admitted = want
+		cs.counters.admitted.Store(int64(want))
 	}
+	b.rebuildRouteLocked()
 	b.tel.ObserveAllocation()
 	b.tel.ObserveConsumers(b.consumerTotalsLocked())
 	return nil
@@ -283,110 +319,122 @@ func (b *Broker) ApplyAllocation(a model.Allocation) error {
 // then delivers to every admitted consumer of every class of the flow,
 // applying the class transform and each consumer's filter. It returns
 // ErrThrottled when the rate limiter rejects the message.
+//
+// Publish is the broker's lock-free fast path: it reads the routing
+// snapshot through an atomic pointer and touches only its own flow's
+// sharded state, so concurrent publishes on distinct flows never contend.
+// When the class transform is Identity the message is delivered carrying
+// the caller's attrs map itself — no copy is made, and the whole path
+// performs no allocations. Callers and consumers must therefore treat
+// attrs as immutable once published.
 func (b *Broker) Publish(flow model.FlowID, attrs map[string]float64, body string) error {
-	if flow < 0 || int(flow) >= len(b.p.Flows) {
+	if flow < 0 || int(flow) >= len(b.flows) {
 		return fmt.Errorf("%w: %d", ErrUnknownFlow, flow)
 	}
 	now := b.now()
-
-	b.mu.Lock()
-	if !b.buckets[flow].Allow(now) {
-		b.pub[flow].Throttled++
+	f := &b.flows[flow]
+	if !f.bucket.Allow(now) {
+		f.throttled.Add(1)
 		b.tel.ObserveThrottle()
-		b.mu.Unlock()
 		return ErrThrottled
 	}
-	b.seq[flow]++
-	b.pub[flow].Published++
-	workBefore := b.work
-	b.work++ // per-message routing work
+	f.published.Add(1)
 	msg := Message{
 		Flow:  flow,
-		Seq:   b.seq[flow],
+		Seq:   f.seq.Add(1),
 		Time:  now,
 		Attrs: attrs,
 		Body:  body,
 	}
 
-	// Snapshot delivery targets under the lock, deliver outside it.
-	type delivery struct {
-		c   *consumer
-		msg Message
-	}
-	var work []delivery
-	filtered := 0
-	for _, cid := range b.ix.ClassesByFlow(flow) {
-		cs := &b.classes[cid]
-		if cs.admitted == 0 {
-			continue
-		}
-		if cs.thinner != nil && !cs.thinner.Allow(now) {
-			cs.thinned++
+	work := uint64(1) // per-message routing work
+	delivered, filtered := 0, 0
+	routes := b.route.Load().byFlow[flow]
+	for ri := range routes {
+		cr := &routes[ri]
+		if cr.thinner != nil && !cr.thinner.Allow(now) {
+			cr.counters.thinned.Add(1)
 			b.tel.ObserveThinned()
 			continue
 		}
 		classMsg := msg
-		classMsg.Attrs = cloneAttrs(attrs)
-		classMsg = cs.transform.Apply(classMsg)
-		b.work++ // per-class transform work
-		for _, c := range cs.consumers {
-			if !c.admitted {
-				continue
-			}
-			b.work++ // per-consumer filter evaluation
+		if !cr.identity {
+			// Only a mutating transform gets (and pays for) a private
+			// copy of the attribute map.
+			classMsg.Attrs = cloneAttrs(attrs)
+			classMsg = cr.transform.Apply(classMsg)
+		}
+		work++ // per-class transform work
+		var classDelivered, classFiltered uint64
+		for _, c := range cr.consumers {
+			work++ // per-consumer filter evaluation
 			if c.filter.Match(classMsg) {
-				c.delivered++
-				b.work++ // per-consumer delivery
-				work = append(work, delivery{c: c, msg: classMsg})
+				work++ // per-consumer delivery
+				classDelivered++
+				if c.handler != nil {
+					c.handler(classMsg)
+				}
 			} else {
-				c.filtered++
-				filtered++
+				classFiltered++
 			}
 		}
-	}
-	b.tel.ObservePublish(len(work), filtered, b.work-workBefore)
-	b.mu.Unlock()
-
-	for _, d := range work {
-		if d.c.handler != nil {
-			d.c.handler(d.msg)
+		if classDelivered != 0 {
+			cr.counters.delivered.Add(classDelivered)
 		}
+		if classFiltered != 0 {
+			cr.counters.filtered.Add(classFiltered)
+		}
+		delivered += int(classDelivered)
+		filtered += int(classFiltered)
 	}
+	f.work.Add(work)
+	b.tel.ObservePublish(delivered, filtered, work)
 	return nil
 }
 
 // WorkUnits returns the cumulative abstract work counter (see the field
-// comment); deterministic across runs for identical publish sequences.
+// comment on Broker.flows): deterministic across runs for identical
+// serial publish sequences, and an exact interleaving-order-free total
+// under concurrent publishing. Sums the per-flow atomic shards — never
+// blocks the data plane (while publishers are running the sum may
+// straddle in-flight messages, like any multi-counter scrape).
 func (b *Broker) WorkUnits() uint64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.work
+	var total uint64
+	for i := range b.flows {
+		total += b.flows[i].work.Load()
+	}
+	return total
 }
 
-// FlowStats returns the publish-side counters of a flow.
+// FlowStats returns the publish-side counters of a flow. Served from
+// atomics: scraping never stalls publishers.
 func (b *Broker) FlowStats(flow model.FlowID) (FlowStats, error) {
-	if flow < 0 || int(flow) >= len(b.p.Flows) {
+	if flow < 0 || int(flow) >= len(b.flows) {
 		return FlowStats{}, fmt.Errorf("%w: %d", ErrUnknownFlow, flow)
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.pub[flow], nil
+	f := &b.flows[flow]
+	return FlowStats{
+		Published: f.published.Load(),
+		Throttled: f.throttled.Load(),
+		Rate:      f.rate(),
+	}, nil
 }
 
-// ClassStats returns the delivery-side counters of a class.
+// ClassStats returns the delivery-side counters of a class. Served from
+// atomics: scraping never stalls publishers. Under concurrent publishing
+// the fields are individually exact but not a single atomic snapshot.
 func (b *Broker) ClassStats(class model.ClassID) (ClassStats, error) {
 	if class < 0 || int(class) >= len(b.p.Classes) {
 		return ClassStats{}, fmt.Errorf("%w: %d", ErrUnknownClass, class)
 	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	cs := &b.classes[class]
-	out := ClassStats{Attached: len(cs.consumers), Admitted: cs.admitted, Thinned: cs.thinned}
-	for _, c := range cs.consumers {
-		out.Delivered += c.delivered
-		out.Filtered += c.filtered
-	}
-	return out, nil
+	cc := &b.classes[class].counters
+	return ClassStats{
+		Attached:  int(cc.attached.Load()),
+		Admitted:  int(cc.admitted.Load()),
+		Delivered: cc.delivered.Load(),
+		Filtered:  cc.filtered.Load(),
+		Thinned:   cc.thinned.Load(),
+	}, nil
 }
 
 // SetClassRateCap installs (or, with rate <= 0, removes) a delivery-rate
@@ -400,14 +448,17 @@ func (b *Broker) SetClassRateCap(class model.ClassID, rate float64) error {
 	now := b.now()
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if rate <= 0 {
+	switch {
+	case rate <= 0:
 		b.classes[class].thinner = nil
+	case b.classes[class].thinner != nil:
+		// Re-rating mutates the shared bucket in place; live snapshots
+		// pick the new rate up immediately, no rebuild needed.
+		b.classes[class].thinner.SetRate(rate, now)
 		return nil
+	default:
+		b.classes[class].thinner = NewTokenBucket(rate, 0, now)
 	}
-	if t := b.classes[class].thinner; t != nil {
-		t.SetRate(rate, now)
-		return nil
-	}
-	b.classes[class].thinner = NewTokenBucket(rate, 0, now)
+	b.rebuildRouteLocked()
 	return nil
 }

@@ -26,7 +26,12 @@ type Message struct {
 	// Time is the publish timestamp.
 	Time time.Time
 	// Attrs carries numeric content attributes (e.g. "price": 82.5) that
-	// filters evaluate.
+	// filters evaluate. On the delivery path Attrs is read-only by
+	// contract: for classes with the Identity transform the broker hands
+	// every consumer the producer's own map (no per-class clone), so
+	// neither the publisher nor any handler may mutate it after Publish.
+	// Only classes whose transform actually mutates attributes receive a
+	// private copy.
 	Attrs map[string]float64
 	// Body is the opaque payload.
 	Body string
@@ -46,9 +51,13 @@ func cloneAttrs(attrs map[string]float64) map[string]float64 {
 }
 
 // Filter decides whether a consumer receives a message (content-based
-// subscription, as in the latest-price scenario).
+// subscription, as in the latest-price scenario). Filters run on the
+// broker's lock-free delivery path: implementations must be safe for
+// concurrent use and must treat the message — including its Attrs map —
+// as read-only.
 type Filter interface {
-	// Match reports whether the message passes.
+	// Match reports whether the message passes. It must not mutate m or
+	// its Attrs map.
 	Match(m Message) bool
 	// String describes the filter.
 	String() string
@@ -163,8 +172,10 @@ func (a And) String() string {
 // paper's in-flight transformations (field removal for public consumers,
 // format changes, enrichment).
 type Transform interface {
-	// Apply returns the transformed message. Implementations must not
-	// mutate the input's maps; the broker hands each class a copy.
+	// Apply returns the transformed message. The broker hands every
+	// non-Identity transform a private copy of the attribute map, which
+	// the implementation may mutate freely; Identity transforms are
+	// bypassed entirely and their classes share the producer's map.
 	Apply(m Message) Message
 	// String describes the transform.
 	String() string

@@ -2,7 +2,7 @@ package broker
 
 import (
 	"fmt"
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/model"
 )
@@ -14,16 +14,17 @@ type ProducerID int
 // producers of a flow share the flow's source node and rate limit (the
 // paper: "a producer publishes messages on one flow, and all the
 // producers publishing to a particular flow connect to the same node");
-// per-producer accounting is kept separately.
+// per-producer accounting is kept separately. Producer methods are safe
+// for concurrent use and lock-free: concurrent Publish calls through the
+// same or different producers contend only on the flow's token bucket.
 type Producer struct {
 	id     ProducerID
 	flow   model.FlowID
 	broker *Broker
 
-	mu        sync.Mutex
-	published uint64
-	throttled uint64
-	detached  bool
+	published atomic.Uint64
+	throttled atomic.Uint64
+	detached  atomic.Bool
 }
 
 // ProducerStats reports one producer's accounting.
@@ -53,39 +54,33 @@ func (b *Broker) RegisterProducer(flow model.FlowID) (*Producer, error) {
 func (p *Producer) Flow() model.FlowID { return p.flow }
 
 // Publish injects one message through the producer, applying the flow's
-// shared rate limit and recording per-producer stats.
+// shared rate limit and recording per-producer stats. The attrs map must
+// not be mutated after publishing (see Broker.Publish).
 func (p *Producer) Publish(attrs map[string]float64, body string) error {
-	p.mu.Lock()
-	if p.detached {
-		p.mu.Unlock()
+	if p.detached.Load() {
 		return fmt.Errorf("broker: producer %d detached", p.id)
 	}
-	p.mu.Unlock()
-
 	err := p.broker.Publish(p.flow, attrs, body)
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	switch {
 	case err == nil:
-		p.published++
+		p.published.Add(1)
 	case err == ErrThrottled:
-		p.throttled++
+		p.throttled.Add(1)
 	}
 	return err
 }
 
 // Stats returns the producer's counters.
 func (p *Producer) Stats() ProducerStats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return ProducerStats{Published: p.published, Throttled: p.throttled}
+	return ProducerStats{
+		Published: p.published.Load(),
+		Throttled: p.throttled.Load(),
+	}
 }
 
 // Detach deregisters the producer; further Publish calls fail.
 func (p *Producer) Detach() {
-	p.mu.Lock()
-	p.detached = true
-	p.mu.Unlock()
+	p.detached.Store(true)
 	p.broker.mu.Lock()
 	delete(p.broker.producers, p.id)
 	p.broker.mu.Unlock()

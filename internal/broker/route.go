@@ -1,0 +1,127 @@
+package broker
+
+import (
+	"math"
+	"sync/atomic"
+
+	"repro/internal/model"
+)
+
+// This file holds the data-plane side of the broker's control-plane /
+// data-plane split.
+//
+// The data plane (Publish) never takes the broker mutex: it reads an
+// immutable routing snapshot through an atomic pointer, admits the
+// message on its flow's own token bucket, and walks the snapshot's
+// admitted-consumer lists, accumulating into atomic counters. Per-flow
+// state is sharded so publishes on distinct flows share nothing but the
+// snapshot pointer.
+//
+// The control plane (AttachConsumer, DetachConsumer, ApplyAllocation,
+// SetClassRateCap) serializes on Broker.mu, mutates the authoritative
+// state, and publishes a freshly built snapshot (copy-on-write). A
+// Publish that raced a control operation delivers against whichever
+// snapshot it loaded — each message sees one consistent routing view.
+
+// flowState is the per-flow data-plane shard: the source token bucket
+// (internally locked, shared with nobody else), the per-flow sequence
+// counter, and the publish-side stat counters. Publishes on distinct
+// flows touch distinct flowStates and therefore never contend.
+type flowState struct {
+	bucket    *TokenBucket
+	seq       atomic.Uint64
+	published atomic.Uint64
+	throttled atomic.Uint64
+	// rateBits holds math.Float64bits of the most recently enacted rate,
+	// mirroring the bucket's refill rate so FlowStats never touches the
+	// bucket's lock.
+	rateBits atomic.Uint64
+	// work is this flow's shard of the broker-wide abstract work
+	// counter; Broker.WorkUnits sums the shards. Keeping it per flow
+	// removes the last cross-flow write on the publish path.
+	work atomic.Uint64
+	// _pad spaces adjacent flowStates onto separate cache lines so
+	// multi-flow publishers do not false-share counter lines.
+	_pad [80]byte //nolint:unused // padding, deliberately never read
+}
+
+func (f *flowState) rate() float64 {
+	return math.Float64frombits(f.rateBits.Load())
+}
+
+func (f *flowState) setRate(r float64) {
+	f.rateBits.Store(math.Float64bits(r))
+}
+
+// classCounters is the delivery-side accounting of one class. The
+// counters live in the control-plane classState (so they survive
+// snapshot rebuilds) and are referenced by pointer from every snapshot;
+// both planes update them with atomics only, so ClassStats and telemetry
+// scrapes never stall a publish.
+type classCounters struct {
+	attached  atomic.Int64
+	admitted  atomic.Int64
+	delivered atomic.Uint64
+	filtered  atomic.Uint64
+	thinned   atomic.Uint64
+}
+
+// classRoute is one class's routing entry in a snapshot: the compiled
+// transform, the shared thinner handle, the counter block, and the
+// admitted consumers in attach order. Snapshots only carry classes with
+// at least one admitted consumer.
+type classRoute struct {
+	transform Transform
+	// identity marks the Transform as the Identity fast path: the
+	// message is delivered with the producer's attribute map, no clone.
+	identity bool
+	// thinner, when non-nil, caps the class's delivery rate. The bucket
+	// is owned by the control plane and shared across snapshots; it is
+	// internally locked.
+	thinner   *TokenBucket
+	counters  *classCounters
+	consumers []*consumer
+}
+
+// routeTable is the immutable routing snapshot the data plane reads: for
+// every flow, the deliverable class routes in model.Index class order.
+// Never mutated after publication; control-plane changes build and store
+// a new table.
+type routeTable struct {
+	byFlow [][]classRoute
+}
+
+// rebuildRouteLocked builds and publishes a fresh routing snapshot from
+// the authoritative control-plane state. Callers must hold b.mu (or be
+// inside New, before the broker escapes).
+func (b *Broker) rebuildRouteLocked() {
+	rt := &routeTable{byFlow: make([][]classRoute, len(b.p.Flows))}
+	for i := range b.p.Flows {
+		var routes []classRoute
+		for _, cid := range b.ix.ClassesByFlow(model.FlowID(i)) {
+			cs := &b.classes[cid]
+			if cs.admitted == 0 {
+				continue
+			}
+			admitted := make([]*consumer, 0, cs.admitted)
+			for _, c := range cs.consumers {
+				if c.admitted {
+					admitted = append(admitted, c)
+				}
+			}
+			if len(admitted) == 0 {
+				continue
+			}
+			_, identity := cs.transform.(Identity)
+			routes = append(routes, classRoute{
+				transform: cs.transform,
+				identity:  identity,
+				thinner:   cs.thinner,
+				counters:  &cs.counters,
+				consumers: admitted,
+			})
+		}
+		rt.byFlow[i] = routes
+	}
+	b.route.Store(rt)
+}

@@ -114,7 +114,9 @@ func (m *EngineMetrics) ObserveConvergence(converged bool, at int) {
 // publish/delivery path, the delivery fan-out histogram (the depth of
 // the per-publish work queue), and consumer-population gauges. Construct
 // with NewBrokerMetrics and pass via broker.WithTelemetry; a nil handle
-// disables everything.
+// disables everything. The observe methods are called concurrently from
+// the broker's lock-free publish path — they must stay atomic-only, no
+// locks, no allocation (the registry's instruments already are).
 type BrokerMetrics struct {
 	// Published counts messages accepted by the source rate limiter;
 	// Throttled counts messages it rejected.
