@@ -14,8 +14,14 @@
 // Usage:
 //
 //	lrgp-broker [-optimizer colocated|dist] [-transport memory|tcp]
-//	            [-rounds 120] [-workers 0] [-publish-seconds 2]
+//	            [-rounds 120] [-workers 0] [-reopt 0] [-publish-seconds 2]
 //	            [-producers 1] [-telemetry-addr :9090]
+//
+// -reopt N (colocated only) follows the initial solve with N
+// re-optimization rounds: each perturbs the workload's node capacities
+// and warm re-solves from the previous fixpoint via Engine.Reset instead
+// of rebuilding the engine, the steady-state loop a long-lived broker
+// runs. The last round's allocation is the one enacted.
 package main
 
 import (
@@ -50,6 +56,7 @@ func run(args []string, out io.Writer) error {
 		transportName = fs.String("transport", "memory", "transport for -optimizer dist: memory or tcp")
 		rounds        = fs.Int("rounds", 120, "LRGP iterations (colocated) or synchronous rounds (dist)")
 		workers       = fs.Int("workers", 0, "colocated engine Step workers (0 = GOMAXPROCS, 1 = serial)")
+		reopt         = fs.Int("reopt", 0, "warm re-optimization rounds after the initial colocated solve (perturb capacities, Engine.Reset, re-solve)")
 		pubSeconds    = fs.Float64("publish-seconds", 2, "how long to publish synthetic traffic")
 		producersN    = fs.Int("producers", 1, "concurrent producer goroutines generating the synthetic traffic (flows are spread round-robin; several producers may share a flow)")
 		telemetryAddr = fs.String("telemetry-addr", "", "serve /metrics, /debug/pprof, /debug/vars and /snapshot on this address (e.g. :9090); empty disables")
@@ -99,7 +106,6 @@ func run(args []string, out io.Writer) error {
 		res := e.Solve(*rounds)
 		s := e.Snapshot()
 		snap.Store(&s)
-		e.Close()
 		alloc = res.Allocation
 		converged := "not converged"
 		if res.Converged {
@@ -107,6 +113,35 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "  %d iterations in %v, final utility %.0f (%s)\n",
 			res.Iterations, time.Since(start).Round(time.Millisecond), res.Utility, converged)
+		// Warm re-optimization rounds: perturb node capacities and
+		// re-solve from the previous fixpoint, the pattern a long-lived
+		// broker uses to track drifting conditions without rebuilding the
+		// engine (or paying cold-start iterations) each time.
+		for k := 1; k <= *reopt; k++ {
+			scale := 0.9
+			if k%2 == 0 {
+				scale = 1.1
+			}
+			q := p.Clone()
+			for b := range q.Nodes {
+				q.Nodes[b].Capacity *= scale
+			}
+			if err := e.Reset(q); err != nil {
+				return err
+			}
+			rs := time.Now()
+			res = e.Solve(*rounds)
+			s := e.Snapshot()
+			snap.Store(&s)
+			alloc = res.Allocation
+			converged := "not converged"
+			if res.Converged {
+				converged = fmt.Sprintf("converged at %d", res.ConvergedAt)
+			}
+			fmt.Fprintf(out, "  reopt %d: capacity %.1fx, warm re-solve in %v, utility %.0f (%s)\n",
+				k, scale, time.Since(rs).Round(time.Millisecond), res.Utility, converged)
+		}
+		e.Close()
 	case "dist":
 		var net transport.Network
 		switch *transportName {

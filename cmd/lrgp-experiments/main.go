@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	lrgp-experiments [-run all|fig1|fig2|fig3|fig4|table2|table3|async|ablation|links|prune|overhead|gamma|multirate]
+//	lrgp-experiments [-run all|fig1|fig2|fig3|fig4|table2|table3|async|ablation|links|prune|overhead|gamma|multirate|sweep]
 //	                 [-iters 250] [-sa-steps 1000000] [-seed 1] [-workers 0] [-csv] [-chart]
 //	                 [-trace-out run.jsonl]
 //
@@ -38,7 +38,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("lrgp-experiments", flag.ContinueOnError)
 	var (
-		runSpec  = fs.String("run", "all", "experiments to run (comma-separated): all, fig1, fig2, fig3, fig4, table2, table3, async, ablation, links, prune, overhead, gamma, multirate")
+		runSpec  = fs.String("run", "all", "experiments to run (comma-separated): all, fig1, fig2, fig3, fig4, table2, table3, async, ablation, links, prune, overhead, gamma, multirate, sweep")
 		iters    = fs.Int("iters", 250, "LRGP iterations per run")
 		saSteps  = fs.Int("sa-steps", 1_000_000, "full-state annealing steps per start temperature")
 		seed     = fs.Int64("seed", 1, "random seed for stochastic baselines")
@@ -191,6 +191,16 @@ func run(args []string, out io.Writer) error {
 			res.PrunedClasses, res.PrunedNodeVisits, res.PrunedLinkVisits)
 		fmt.Fprintf(out, "  stage 2 utility   %.0f (gain %+.0f, %+.2f%%)\n\n",
 			res.Stage2.Result.Utility, res.UtilityGain, 100*res.UtilityGain/res.Stage1.Result.Utility)
+	}
+	if selected("sweep") {
+		res, err := experiments.WarmStartSweep(opts)
+		if err != nil {
+			return err
+		}
+		emitTable(experiments.RenderSweep(res))
+		fmt.Fprintf(out, "  warm start saved %d of %d cold iterations (%.0f%%)\n\n",
+			res.ColdIters-res.WarmIters, res.ColdIters,
+			100*float64(res.ColdIters-res.WarmIters)/float64(res.ColdIters))
 	}
 	if selected("overhead") {
 		rows, err := experiments.OverheadExperiment(opts, 0)

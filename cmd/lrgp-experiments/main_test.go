@@ -30,6 +30,20 @@ func TestRunSelectedExperiments(t *testing.T) {
 	}
 }
 
+func TestRunSweepExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "sweep", "-iters", "100"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "warm-started capacity sweep") {
+		t.Errorf("missing sweep table:\n%s", s)
+	}
+	if !strings.Contains(s, "warm start saved") {
+		t.Errorf("missing savings summary:\n%s", s)
+	}
+}
+
 func TestRunCSVOutput(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-run", "fig4", "-iters", "40", "-csv"}, &out); err != nil {

@@ -36,6 +36,23 @@ func TestRunWithAllocAndChart(t *testing.T) {
 	}
 }
 
+// TestRunFullStepIdentical: -full-step disables dirty-set skipping but
+// must not change a single byte of the report (the incremental engine is
+// bit-identical by construction).
+func TestRunFullStepIdentical(t *testing.T) {
+	var inc, full bytes.Buffer
+	if err := run([]string{"-iters", "100"}, &inc); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-iters", "100", "-full-step"}, &full); err != nil {
+		t.Fatal(err)
+	}
+	if inc.String() != full.String() {
+		t.Errorf("-full-step changed the output:\n--- incremental ---\n%s--- full ---\n%s",
+			inc.String(), full.String())
+	}
+}
+
 func TestRunFixedGamma(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-adaptive=false", "-gamma", "0.05", "-iters", "60"}, &out); err != nil {

@@ -27,6 +27,9 @@ type admitResult struct {
 	// ratio among classes with n_j < n_j^max, or 0 when every class is
 	// fully admitted (relaxing the constraint buys nothing).
 	bestUnsatisfied float64
+	// popChanged reports whether any population actually changed value,
+	// tracked only when the caller passes a popEpoch slice.
+	popChanged bool
 }
 
 // classBC pairs a class with its benefit-cost ratio for sorting.
@@ -43,6 +46,12 @@ type classBC struct {
 // populations into consumers (indexed by ClassID). active reports whether a
 // flow participates this iteration; classes of inactive flows are forced to
 // zero and ignored.
+//
+// When popEpoch is non-nil, every population write that changes a value
+// also records epoch in popEpoch[class] and sets popChanged on the result;
+// the incremental engine uses this to seed the next iteration's dirty set.
+// Callers outside the engine (greedy seeding, the distributed node agent)
+// pass nil, 0 to disable tracking.
 func admitNode(
 	p *model.Problem,
 	ix *model.Index,
@@ -51,8 +60,11 @@ func admitNode(
 	active []bool,
 	consumers []int,
 	scratch []classBC,
+	popEpoch []int,
+	epoch int,
 ) admitResult {
 	node := &p.Nodes[b]
+	res := admitResult{}
 
 	flowUse := 0.0
 	costs := ix.FlowCostsByNode(b)
@@ -69,7 +81,7 @@ func admitNode(
 	for _, cid := range ix.ClassesByNode(b) {
 		c := &p.Classes[cid]
 		if !active[c.Flow] {
-			consumers[cid] = 0
+			setPop(consumers, popEpoch, epoch, cid, 0, &res)
 			continue
 		}
 		r := rates[c.Flow]
@@ -79,7 +91,7 @@ func admitNode(
 			// spend node resource without increasing the objective
 			// (possible for utilities that start negative or at zero
 			// when r is pinned very low); never admit it.
-			consumers[cid] = 0
+			setPop(consumers, popEpoch, epoch, cid, 0, &res)
 			continue
 		}
 		unit := c.CostPerConsumer * r
@@ -127,7 +139,7 @@ func admitNode(
 				n--
 			}
 		}
-		consumers[cb.id] = n
+		setPop(consumers, popEpoch, epoch, cb.id, n, &res)
 		cost := float64(n) * cb.unitCost
 		budget -= cost
 		used += cost
@@ -135,5 +147,21 @@ func admitNode(
 			best = cb.bc
 		}
 	}
-	return admitResult{used: used, bestUnsatisfied: best}
+	res.used, res.bestUnsatisfied = used, best
+	return res
+}
+
+// setPop writes consumers[cid] = n, recording the change epoch when the
+// value moves and tracking is enabled. Skipping the write on equal values
+// is what makes the epoch meaningful: a re-admission that reproduces the
+// same population leaves the class clean.
+func setPop(consumers, popEpoch []int, epoch int, cid model.ClassID, n int, res *admitResult) {
+	if consumers[cid] == n {
+		return
+	}
+	consumers[cid] = n
+	if popEpoch != nil {
+		popEpoch[cid] = epoch
+		res.popChanged = true
+	}
 }

@@ -90,6 +90,12 @@ type Config struct {
 	// (false) enables the dead band and surge refinements documented in
 	// EXPERIMENTS.md.
 	GammaLiteral bool
+	// FullRecompute disables the incremental dirty-set machinery and makes
+	// every Step re-solve all flows, re-admit all nodes and re-sum all
+	// links, exactly like the pre-incremental engine. Results are
+	// bit-identical either way (see DESIGN.md §9); the flag exists as an
+	// escape hatch and as the baseline for the steady-state benchmarks.
+	FullRecompute bool
 	// LinkGamma is the gradient-projection stepsize for link prices
 	// (Equation 13). Default DefaultLinkGamma.
 	LinkGamma float64

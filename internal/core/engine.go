@@ -53,12 +53,56 @@ type Engine struct {
 	// pool is non-nil when the engine shards stages across workers.
 	pool   *workerPool
 	shards int
-	// overNode[s] and overLink[s] collect shard s's max overload; the
-	// reduction over shards after the stage barrier is order-independent
-	// (max is associative and commutative), so the result is bit-identical
-	// to the serial scan.
-	overNode []float64
-	overLink []float64
+	// closed is set by Close; stepping a closed engine panics
+	// deterministically instead of racing the pool shutdown.
+	closed bool
+	// full disables the dirty-set machinery (Config.FullRecompute).
+	full bool
+
+	// Incremental dirty-set state (DESIGN.md §9). The epoch slices record
+	// the iteration at which each quantity last changed value; a stage
+	// consults them to decide whether its cached outputs are still exact.
+	// The forced flags are set by mutators and Reset to dirty items whose
+	// inputs changed outside Step, and cleared by the recompute they
+	// trigger.
+	flowForced []bool
+	nodeForced []bool
+	linkForced []bool
+	// rateEpoch[i]: iteration e.rates[i] last changed; popEpoch[j]:
+	// iteration e.consumers[j] last changed; nodePriceEpoch[b] /
+	// linkPriceEpoch[l]: iteration the price last moved.
+	rateEpoch      []int
+	popEpoch       []int
+	nodePriceEpoch []int
+	linkPriceEpoch []int
+	// nodeUsed/nodeBest cache admitNode's outputs per node; linkUsed
+	// caches each link's usage sum. A skipped constraint reuses these
+	// verbatim — they are the exact floats the skipped recomputation
+	// would have produced.
+	nodeUsed []float64
+	nodeBest []float64
+	linkUsed []float64
+	// util caches the last computed objective; utilStale forces a full
+	// recomputation (set by mutators and Reset).
+	util      float64
+	utilStale bool
+
+	// Per-shard stage accumulators, each of length shards. overNode[s]
+	// and overLink[s] collect shard s's max overload; the reduction over
+	// shards after the stage barrier is order-independent (max is
+	// associative and commutative), so the result is bit-identical to the
+	// serial scan. The dirty/skip counters and changed flags reduce by
+	// integer sum and boolean OR, which are order-independent too. When a
+	// stage runs inline (serial engine, or too few items to shard), only
+	// slot 0 is written and reduced.
+	overNode       []float64
+	overLink       []float64
+	dirtyFlowsSh   []int
+	skippedNodesSh []int
+	skippedLinksSh []int
+	rateChangedSh  []bool
+	popChangedSh   []bool
+
 	// stageFns are the shard entry points, bound once so dispatching a
 	// stage allocates nothing.
 	stageFns [3]func(shard int)
@@ -82,6 +126,14 @@ type StepResult struct {
 	// StagePrice). Populated only when Config.Telemetry is set; all
 	// zero otherwise, so the untelemetered Step never reads the clock.
 	StageNanos [3]int64
+	// DirtyFlows counts flows whose rate problem was re-solved this
+	// iteration; SkippedNodes and SkippedLinks count constraints that
+	// reused their cached admission/usage instead of recomputing.
+	// Deterministic for any worker count. With Config.FullRecompute every
+	// flow is dirty and nothing is skipped.
+	DirtyFlows   int
+	SkippedNodes int
+	SkippedLinks int
 }
 
 // NewEngine validates the problem and prepares an engine. The initial state
@@ -112,6 +164,7 @@ func NewEngine(p *model.Problem, cfg Config) (*Engine, error) {
 		p:          p,
 		ix:         ix,
 		cfg:        c,
+		full:       c.FullRecompute,
 		rates:      make([]float64, len(p.Flows)),
 		consumers:  make([]int, len(p.Classes)),
 		active:     make([]bool, len(p.Flows)),
@@ -121,6 +174,26 @@ func NewEngine(p *model.Problem, cfg Config) (*Engine, error) {
 		solvers:    make([]*rateSolver, len(p.Flows)),
 		shards:     shards,
 		scratch:    make([][]classBC, shards),
+
+		flowForced:     make([]bool, len(p.Flows)),
+		nodeForced:     make([]bool, len(p.Nodes)),
+		linkForced:     make([]bool, len(p.Links)),
+		rateEpoch:      make([]int, len(p.Flows)),
+		popEpoch:       make([]int, len(p.Classes)),
+		nodePriceEpoch: make([]int, len(p.Nodes)),
+		linkPriceEpoch: make([]int, len(p.Links)),
+		nodeUsed:       make([]float64, len(p.Nodes)),
+		nodeBest:       make([]float64, len(p.Nodes)),
+		linkUsed:       make([]float64, len(p.Links)),
+		utilStale:      true,
+
+		overNode:       make([]float64, shards),
+		overLink:       make([]float64, shards),
+		dirtyFlowsSh:   make([]int, shards),
+		skippedNodesSh: make([]int, shards),
+		skippedLinksSh: make([]int, shards),
+		rateChangedSh:  make([]bool, shards),
+		popChangedSh:   make([]bool, shards),
 	}
 	for s := range e.scratch {
 		e.scratch[s] = make([]classBC, 0, len(p.Classes))
@@ -128,18 +201,19 @@ func NewEngine(p *model.Problem, cfg Config) (*Engine, error) {
 	for i := range p.Flows {
 		e.rates[i] = p.Flows[i].RateMin
 		e.active[i] = true
+		e.flowForced[i] = true
 		e.solvers[i] = newRateSolver(p, ix, model.FlowID(i))
 	}
 	for b := range e.nodePrices {
 		e.nodePrices[b] = c.InitialNodePrice
 		e.nodeGamma[b] = newGammaController(c)
+		e.nodeForced[b] = true
 	}
 	for l := range e.linkPrices {
 		e.linkPrices[l] = c.InitialLinkPrice
+		e.linkForced[l] = true
 	}
 	if shards > 1 {
-		e.overNode = make([]float64, shards)
-		e.overLink = make([]float64, shards)
 		e.stageFns = [3]func(int){e.rateShard, e.nodeShard, e.linkShard}
 		e.pool = newWorkerPool(shards - 1)
 		// Backstop for engines dropped without Close: idle workers hold no
@@ -150,11 +224,15 @@ func NewEngine(p *model.Problem, cfg Config) (*Engine, error) {
 	return e, nil
 }
 
-// Close releases the engine's worker pool. It is a no-op for serial
-// engines and idempotent otherwise; the engine must not be stepped after
-// Close. Abandoned engines are closed by the garbage collector as a
-// backstop, but deterministic shutdown should call Close explicitly.
+// Close releases the engine's worker pool and marks the engine closed;
+// Step, Solve and Reset panic deterministically afterwards (for serial and
+// sharded engines alike — before this flag a closed sharded engine died on
+// the pool's closed channel, and a serial one silently kept working).
+// Close is idempotent. Abandoned engines are closed by the garbage
+// collector as a backstop, but deterministic shutdown should call Close
+// explicitly.
 func (e *Engine) Close() {
+	e.closed = true
 	if e.pool != nil {
 		runtime.SetFinalizer(e, nil)
 		e.pool.close()
@@ -177,7 +255,20 @@ func (e *Engine) shardRange(n, s int) (lo, hi int) {
 // and node prices per-node, link prices per-link), so the parallel
 // schedule performs exactly the serial arithmetic and the result is
 // bit-identical for any worker count.
+//
+// Step is incremental: a flow re-solves its rate problem only when some
+// price on its path or some consuming class's population changed last
+// iteration; a node re-runs admission only when a crossing flow's rate
+// changed this iteration (or a mutator touched its inputs); a link re-sums
+// its usage under the same rule. Everything else reuses the previous
+// iteration's values verbatim, so results are bit-identical to a full
+// recompute (Config.FullRecompute; see DESIGN.md §9 for the invariants).
+// The O(1) price updates and adaptive-gamma observations always run —
+// they move every iteration until the exact fixpoint.
 func (e *Engine) Step() StepResult {
+	if e.closed {
+		panic("core: Engine.Step called after Close")
+	}
 	e.iteration++
 	res := StepResult{Iteration: e.iteration}
 
@@ -190,12 +281,17 @@ func (e *Engine) Step() StepResult {
 	}
 
 	// 1. Rate allocation, using last iteration's populations and prices.
+	slots := 1
 	if e.pool != nil && len(e.p.Flows) >= minParallelItems {
 		e.pool.run(e.stageFns[0], e.shards)
+		slots = e.shards
 	} else {
-		for i := range e.p.Flows {
-			e.rateOne(i)
-		}
+		e.rateRange(0, len(e.p.Flows), 0)
+	}
+	rateChanged := false
+	for s := 0; s < slots; s++ {
+		res.DirtyFlows += e.dirtyFlowsSh[s]
+		rateChanged = rateChanged || e.rateChangedSh[s]
 	}
 	if tel != nil {
 		now := time.Now()
@@ -204,19 +300,20 @@ func (e *Engine) Step() StepResult {
 	}
 
 	// 2. Greedy consumer allocation and node price update.
+	slots = 1
 	if e.pool != nil && len(e.p.Nodes) >= minParallelItems {
 		e.pool.run(e.stageFns[1], e.shards)
-		for _, over := range e.overNode {
-			if over > res.MaxNodeOverload {
-				res.MaxNodeOverload = over
-			}
-		}
+		slots = e.shards
 	} else {
-		for b := range e.p.Nodes {
-			if over := e.nodeOne(b, e.scratch[0]); over > res.MaxNodeOverload {
-				res.MaxNodeOverload = over
-			}
+		e.nodeRange(0, len(e.p.Nodes), 0)
+	}
+	popChanged := false
+	for s := 0; s < slots; s++ {
+		if e.overNode[s] > res.MaxNodeOverload {
+			res.MaxNodeOverload = e.overNode[s]
 		}
+		res.SkippedNodes += e.skippedNodesSh[s]
+		popChanged = popChanged || e.popChangedSh[s]
 	}
 	if tel != nil {
 		now := time.Now()
@@ -225,31 +322,64 @@ func (e *Engine) Step() StepResult {
 	}
 
 	// 3. Link price update.
+	slots = 1
 	if e.pool != nil && len(e.p.Links) >= minParallelItems {
 		e.pool.run(e.stageFns[2], e.shards)
-		for _, over := range e.overLink {
-			if over > res.MaxLinkOverload {
-				res.MaxLinkOverload = over
-			}
-		}
+		slots = e.shards
 	} else {
-		for l := range e.p.Links {
-			if over := e.linkOne(l); over > res.MaxLinkOverload {
-				res.MaxLinkOverload = over
-			}
+		e.linkRange(0, len(e.p.Links), 0)
+	}
+	for s := 0; s < slots; s++ {
+		if e.overLink[s] > res.MaxLinkOverload {
+			res.MaxLinkOverload = e.overLink[s]
 		}
+		res.SkippedLinks += e.skippedLinksSh[s]
 	}
 	if tel != nil {
 		res.StageNanos[2] = time.Since(t0).Nanoseconds()
 	}
 
-	res.Utility = e.Utility()
+	// The objective only moves when a rate or population moved; otherwise
+	// the cached sum is the exact value the full recomputation would
+	// produce. Full mode recomputes unconditionally, like the
+	// pre-incremental engine.
+	if e.full || rateChanged || popChanged || e.utilStale {
+		e.util = e.Utility()
+		e.utilStale = false
+	}
+	res.Utility = e.util
+
 	if tel != nil {
 		tel.ObserveStep(res.StageNanos, res.Utility,
 			res.MaxNodeOverload, res.MaxLinkOverload,
-			len(e.p.Nodes), len(e.p.Links))
+			len(e.p.Nodes), len(e.p.Links),
+			res.DirtyFlows, res.SkippedNodes+res.SkippedLinks)
 	}
 	return res
+}
+
+// flowDirty reports whether flow i's rate inputs changed during iteration
+// prev: a link or node price on its path moved, or a consuming class's
+// population moved. Clean flows re-solve to the exact same rate, so the
+// engine keeps the cached value instead.
+func (e *Engine) flowDirty(i int, prev int) bool {
+	fid := model.FlowID(i)
+	for _, l := range e.ix.LinksByFlow(fid) {
+		if e.linkPriceEpoch[l] == prev {
+			return true
+		}
+	}
+	for _, b := range e.ix.NodesByFlow(fid) {
+		if e.nodePriceEpoch[b] == prev {
+			return true
+		}
+	}
+	for _, cid := range e.ix.ClassesByFlow(fid) {
+		if e.popEpoch[cid] == prev {
+			return true
+		}
+	}
+	return false
 }
 
 // rateOne runs Algorithm 1 for flow i (writes only e.rates[i]).
@@ -262,12 +392,62 @@ func (e *Engine) rateOne(i int) {
 	e.rates[i] = e.solvers[i].solve(e.consumers, price)
 }
 
+// rateRange runs the rate stage over flows [lo, hi), writing shard slot s
+// of the stage accumulators.
+func (e *Engine) rateRange(lo, hi, s int) {
+	prev := e.iteration - 1
+	dirty, changed := 0, false
+	for i := lo; i < hi; i++ {
+		if !(e.full || e.flowForced[i] || e.flowDirty(i, prev)) {
+			continue
+		}
+		e.flowForced[i] = false
+		dirty++
+		old := e.rates[i]
+		e.rateOne(i)
+		if e.rates[i] != old {
+			e.rateEpoch[i] = e.iteration
+			changed = true
+		}
+	}
+	e.dirtyFlowsSh[s] = dirty
+	e.rateChangedSh[s] = changed
+}
+
 // nodeOne runs Algorithm 2 and the Equation 12 price update for node b,
 // returning the node's overload (usage minus capacity; possibly negative).
-// It writes only b's populations, price and gamma state.
-func (e *Engine) nodeOne(b int, scratch []classBC) float64 {
+// It writes only b's populations, price and gamma state. Admission is
+// skipped — the cached used/bestUnsatisfied reused — when no crossing
+// flow's rate changed this iteration and no mutator forced the node; the
+// price update and gamma observation always run, because the Equation 12
+// damping and the controller state move every iteration until the exact
+// fixpoint.
+func (e *Engine) nodeOne(b int, scratch []classBC, skipped *int, popChanged *bool) float64 {
 	bid := model.NodeID(b)
-	out := admitNode(e.p, e.ix, bid, e.rates, e.active, e.consumers, scratch)
+	recompute := e.full || e.nodeForced[b]
+	if !recompute {
+		t := e.iteration
+		for _, i := range e.ix.FlowsByNode(bid) {
+			if e.rateEpoch[i] == t {
+				recompute = true
+				break
+			}
+		}
+	}
+	var used, best float64
+	if recompute {
+		e.nodeForced[b] = false
+		out := admitNode(e.p, e.ix, bid, e.rates, e.active, e.consumers, scratch,
+			e.popEpoch, e.iteration)
+		used, best = out.used, out.bestUnsatisfied
+		e.nodeUsed[b], e.nodeBest[b] = used, best
+		if out.popChanged {
+			*popChanged = true
+		}
+	} else {
+		*skipped++
+		used, best = e.nodeUsed[b], e.nodeBest[b]
+	}
 	capacity := e.p.Nodes[b].Capacity
 
 	gamma1, gamma2 := e.cfg.Gamma1, e.cfg.Gamma2
@@ -276,28 +456,83 @@ func (e *Engine) nodeOne(b int, scratch []classBC) float64 {
 		gamma1 = e.nodeGamma[b].gamma
 		gamma2 = gamma1
 	}
-	next := nodePriceUpdate(prev, out.bestUnsatisfied, out.used, capacity, gamma1, gamma2)
+	next := nodePriceUpdate(prev, best, used, capacity, gamma1, gamma2)
 	if e.cfg.Adaptive {
-		e.nodeGamma[b].observe(priceGap(prev, out.bestUnsatisfied, out.used, capacity), prev)
+		e.nodeGamma[b].observe(priceGap(prev, best, used, capacity), prev)
+	}
+	if next != prev {
+		e.nodePriceEpoch[b] = e.iteration
 	}
 	e.nodePrices[b] = next
-	return out.used - capacity
+	return used - capacity
+}
+
+// nodeRange runs the admission stage over nodes [lo, hi), writing shard
+// slot s of the stage accumulators.
+func (e *Engine) nodeRange(lo, hi, s int) {
+	scratch := e.scratch[s]
+	over, skipped, popChanged := 0.0, 0, false
+	for b := lo; b < hi; b++ {
+		if o := e.nodeOne(b, scratch, &skipped, &popChanged); o > over {
+			over = o
+		}
+	}
+	e.overNode[s] = over
+	e.skippedNodesSh[s] = skipped
+	e.popChangedSh[s] = popChanged
 }
 
 // linkOne runs the Equation 13 update for link l, returning the link's
-// overload. It writes only e.linkPrices[l].
-func (e *Engine) linkOne(l int) float64 {
+// overload. It writes only link l's price, epoch and cached usage. The
+// usage re-sum is skipped when no traversing flow's rate changed this
+// iteration; the gradient-projection price update always runs.
+func (e *Engine) linkOne(l int, skipped *int) float64 {
 	lid := model.LinkID(l)
-	used := 0.0
-	costs := e.ix.FlowCostsByLink(lid)
-	for k, i := range e.ix.FlowsByLink(lid) {
-		if e.active[i] {
-			used += costs[k] * e.rates[i]
+	recompute := e.full || e.linkForced[l]
+	if !recompute {
+		t := e.iteration
+		for _, i := range e.ix.FlowsByLink(lid) {
+			if e.rateEpoch[i] == t {
+				recompute = true
+				break
+			}
 		}
 	}
+	var used float64
+	if recompute {
+		e.linkForced[l] = false
+		costs := e.ix.FlowCostsByLink(lid)
+		for k, i := range e.ix.FlowsByLink(lid) {
+			if e.active[i] {
+				used += costs[k] * e.rates[i]
+			}
+		}
+		e.linkUsed[l] = used
+	} else {
+		*skipped++
+		used = e.linkUsed[l]
+	}
 	capacity := e.p.Links[l].Capacity
-	e.linkPrices[l] = linkPriceUpdate(e.linkPrices[l], used, capacity, e.cfg.LinkGamma)
+	prev := e.linkPrices[l]
+	next := linkPriceUpdate(prev, used, capacity, e.cfg.LinkGamma)
+	if next != prev {
+		e.linkPriceEpoch[l] = e.iteration
+	}
+	e.linkPrices[l] = next
 	return used - capacity
+}
+
+// linkRange runs the link-price stage over links [lo, hi), writing shard
+// slot s of the stage accumulators.
+func (e *Engine) linkRange(lo, hi, s int) {
+	over, skipped := 0.0, 0
+	for l := lo; l < hi; l++ {
+		if o := e.linkOne(l, &skipped); o > over {
+			over = o
+		}
+	}
+	e.overLink[s] = over
+	e.skippedLinksSh[s] = skipped
 }
 
 // rateShard, nodeShard and linkShard execute one contiguous shard of their
@@ -305,31 +540,17 @@ func (e *Engine) linkOne(l int) float64 {
 // every shard touches a disjoint index range.
 func (e *Engine) rateShard(s int) {
 	lo, hi := e.shardRange(len(e.p.Flows), s)
-	for i := lo; i < hi; i++ {
-		e.rateOne(i)
-	}
+	e.rateRange(lo, hi, s)
 }
 
 func (e *Engine) nodeShard(s int) {
 	lo, hi := e.shardRange(len(e.p.Nodes), s)
-	scratch, over := e.scratch[s], 0.0
-	for b := lo; b < hi; b++ {
-		if o := e.nodeOne(b, scratch); o > over {
-			over = o
-		}
-	}
-	e.overNode[s] = over
+	e.nodeRange(lo, hi, s)
 }
 
 func (e *Engine) linkShard(s int) {
 	lo, hi := e.shardRange(len(e.p.Links), s)
-	over := 0.0
-	for l := lo; l < hi; l++ {
-		if o := e.linkOne(l); o > over {
-			over = o
-		}
-	}
-	e.overLink[s] = over
+	e.linkRange(lo, hi, s)
 }
 
 // flowPrice computes PL_i + PB_i (Equations 8 and 9) for flow i from the
@@ -381,10 +602,23 @@ func (e *Engine) SetFlowActive(i model.FlowID, active bool) {
 		e.rates[i] = 0
 		for _, cid := range e.ix.ClassesByFlow(i) {
 			e.consumers[cid] = 0
+			e.nodeForced[e.p.Classes[cid].Node] = true
 		}
 	} else {
 		e.rates[i] = e.p.Flows[i].RateMin
 	}
+	// The rate and populations changed outside Step, so the epoch checks
+	// cannot see it: force the flow, every node its path crosses (their
+	// cached admission reflects the old rate) and every link it traverses
+	// (stale usage sums). The objective moved too.
+	e.flowForced[i] = true
+	for _, b := range e.ix.NodesByFlow(i) {
+		e.nodeForced[b] = true
+	}
+	for _, l := range e.ix.LinksByFlow(i) {
+		e.linkForced[l] = true
+	}
+	e.utilStale = true
 }
 
 // FlowActive reports whether flow i participates in iterations.
@@ -410,7 +644,14 @@ func (e *Engine) SetClassDemand(j model.ClassID, maxConsumers int) error {
 	e.p.Classes[j].MaxConsumers = maxConsumers
 	if e.consumers[j] > maxConsumers {
 		e.consumers[j] = maxConsumers
+		// The truncated population is an out-of-Step change: the class's
+		// flow must re-solve its rate and the objective moved.
+		e.flowForced[e.p.Classes[j].Flow] = true
+		e.utilStale = true
 	}
+	// Whether or not the population was truncated, the node's greedy
+	// admission may now admit a different mix.
+	e.nodeForced[e.p.Classes[j].Node] = true
 	return nil
 }
 
@@ -425,6 +666,71 @@ func (e *Engine) SetNodeCapacity(b model.NodeID, capacity float64) error {
 		return fmt.Errorf("core: node %d capacity %g <= 0", b, capacity)
 	}
 	e.p.Nodes[b].Capacity = capacity
+	// The admission budget changed; the cached used/bestUnsatisfied are
+	// stale. (The price update reads capacity fresh each iteration.)
+	e.nodeForced[b] = true
+	return nil
+}
+
+// Reset re-targets the engine at a perturbed problem, warm-starting from
+// the current fixpoint: rates (clamped into p's bounds), populations
+// (clamped to p's demands), prices and adaptive-gamma state all carry
+// over, while the dense index views, worker pool, solvers and scratch are
+// reused without reallocating. p must be topology-compatible with the
+// original problem — same flows, nodes, links and classes, with the same
+// class attachments and the same cost-map sparsity; only cost values,
+// capacities, rate bounds, demands and utility functions may differ (see
+// model.Index.Refresh). On error the engine still runs the old problem.
+//
+// After Reset the iteration counter restarts at zero and the first Step
+// recomputes everything; subsequent iterations are incremental again. A
+// sweep that Resets through nearby problems converges in far fewer
+// iterations than cold-starting an engine per point — see the
+// lrgp-experiments "sweep" experiment and BenchmarkSweepWarmStart.
+func (e *Engine) Reset(p *model.Problem) error {
+	if e.closed {
+		panic("core: Engine.Reset called after Close")
+	}
+	if err := model.Validate(p); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := e.ix.Refresh(p); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	e.p = p
+	for i := range e.solvers {
+		e.solvers[i].bind(p)
+	}
+	for i := range p.Flows {
+		if e.active[i] {
+			e.rates[i] = clamp(e.rates[i], p.Flows[i].RateMin, p.Flows[i].RateMax)
+		}
+	}
+	for j := range p.Classes {
+		if e.consumers[j] > p.Classes[j].MaxConsumers {
+			e.consumers[j] = p.Classes[j].MaxConsumers
+		}
+	}
+
+	// Every cached value is suspect under the new problem: restart the
+	// epoch clock and force a full first iteration.
+	e.iteration = 0
+	e.util, e.utilStale = 0, true
+	for i := range e.flowForced {
+		e.flowForced[i] = true
+		e.rateEpoch[i] = 0
+	}
+	for b := range e.nodeForced {
+		e.nodeForced[b] = true
+		e.nodePriceEpoch[b] = 0
+	}
+	for l := range e.linkForced {
+		e.linkForced[l] = true
+		e.linkPriceEpoch[l] = 0
+	}
+	for j := range e.popEpoch {
+		e.popEpoch[j] = 0
+	}
 	return nil
 }
 

@@ -32,6 +32,7 @@ const (
 
 // rateSolver computes the Algorithm 1 rate for one flow.
 type rateSolver struct {
+	fid     model.FlowID
 	flow    model.Flow
 	classes []model.ClassID
 	// utilities[k] is the utility of classes[k].
@@ -60,18 +61,30 @@ type rateSolver struct {
 func newRateSolver(p *model.Problem, ix *model.Index, fid model.FlowID) *rateSolver {
 	classIDs := ix.ClassesByFlow(fid)
 	rs := &rateSolver{
-		flow:      p.Flows[fid],
+		fid:       fid,
 		classes:   classIDs,
 		utilities: make([]utility.Function, len(classIDs)),
 		scales:    make([]float64, len(classIDs)),
 	}
-	for k, cid := range classIDs {
+	rs.bind(p)
+	return rs
+}
+
+// bind (re)targets the solver at p's current flow bounds and class
+// utilities, re-running the family classification into the existing
+// slices. Engine.Reset uses it to warm-start onto a refreshed problem
+// without reallocating; the class list must be unchanged (Index.Refresh
+// guarantees that).
+func (rs *rateSolver) bind(p *model.Problem) {
+	rs.flow = p.Flows[rs.fid]
+	for k, cid := range rs.classes {
 		rs.utilities[k] = p.Classes[cid].Utility
 	}
 
 	rs.family = famGeneral
-	if len(classIDs) == 0 {
-		return rs
+	rs.shift, rs.exponent = 0, 0
+	if len(rs.classes) == 0 {
+		return
 	}
 	switch first := rs.utilities[0].(type) {
 	case utility.Log:
@@ -95,7 +108,6 @@ func newRateSolver(p *model.Problem, ix *model.Index, fid model.FlowID) *rateSol
 			rs.scales[k] = u.Scale
 		}
 	}
-	return rs
 }
 
 // solve returns the rate maximizing Equation 7 for the given populations

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestWarmStartSweep(t *testing.T) {
+	res, err := WarmStartSweep(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 5 {
+		t.Fatalf("only %d sweep points", len(res.Rows))
+	}
+	// The first point has no previous fixpoint: warm == cold exactly.
+	first := res.Rows[0]
+	if first.WarmConvergedAt != first.ColdConvergedAt || first.WarmUtility != first.ColdUtility {
+		t.Errorf("first point warm (%d, %g) != cold (%d, %g)",
+			first.WarmConvergedAt, first.WarmUtility, first.ColdConvergedAt, first.ColdUtility)
+	}
+	// Cold and warm solve identical problems, so utilities agree to
+	// within the convergence band at every point.
+	for _, r := range res.Rows {
+		if r.ColdUtility <= 0 || !r.ColdConverged || !r.WarmConverged {
+			t.Errorf("scale %.2f did not converge: %+v", r.Scale, r)
+			continue
+		}
+		if rel := math.Abs(r.WarmUtility-r.ColdUtility) / r.ColdUtility; rel > 0.005 {
+			t.Errorf("scale %.2f: warm utility %g vs cold %g (rel %g)",
+				r.Scale, r.WarmUtility, r.ColdUtility, rel)
+		}
+	}
+	// The warm-start API's reason to exist: re-solving a perturbed
+	// problem from the neighboring fixpoint takes fewer total iterations.
+	if res.WarmIters >= res.ColdIters {
+		t.Errorf("warm sweep took %d iterations, cold %d; expected warm cheaper",
+			res.WarmIters, res.ColdIters)
+	}
+}
+
+func TestRenderSweep(t *testing.T) {
+	res, err := WarmStartSweep(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	RenderSweep(res).Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"warm-started capacity sweep", "Cold iters", "Warm iters", "(cold)", "total"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered sweep missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,9 +1,12 @@
 package model
 
+import "fmt"
+
 // Index precomputes the lookup functions of Section 2.2/2.3 of the paper
 // (flowMap, attachMap, nodeClasses, linkMap, nodeMap and their inverses) so
 // the optimizer's inner loops avoid repeated scans. Build it once per
-// Problem with NewIndex; it is immutable afterwards and safe for concurrent
+// Problem with NewIndex; apart from Refresh (a warm-restart rebind to a
+// topology-compatible problem) it is immutable and safe for concurrent
 // reads.
 //
 // Beyond the membership lists, the index denormalizes the sparse cost maps
@@ -132,6 +135,88 @@ func NewIndex(p *Problem) *Index {
 
 // Problem returns the indexed problem.
 func (ix *Index) Problem() *Problem { return ix.p }
+
+// Refresh re-targets the index at p, rewriting the dense cost views in
+// place. p must be topology-compatible with the indexed problem: the same
+// flow/node/link/class counts, every class consuming the same flow and
+// attached at the same node, and every cost map defined on exactly the
+// same (resource, flow) pairs — only cost values, capacities, rate bounds,
+// demands and utilities may differ. Refresh validates compatibility before
+// mutating anything, so on error the index is unchanged and still
+// describes the old problem.
+//
+// Refresh exists for warm restarts (core.Engine.Reset): the membership
+// lists survive untouched, so slices handed out by the accessor methods
+// remain valid, while the cost views pick up p's values. It must not run
+// concurrently with readers.
+func (ix *Index) Refresh(p *Problem) error {
+	old := ix.p
+	switch {
+	case len(p.Flows) != len(old.Flows):
+		return fmt.Errorf("model: refresh: flow count %d != %d", len(p.Flows), len(old.Flows))
+	case len(p.Nodes) != len(old.Nodes):
+		return fmt.Errorf("model: refresh: node count %d != %d", len(p.Nodes), len(old.Nodes))
+	case len(p.Links) != len(old.Links):
+		return fmt.Errorf("model: refresh: link count %d != %d", len(p.Links), len(old.Links))
+	case len(p.Classes) != len(old.Classes):
+		return fmt.Errorf("model: refresh: class count %d != %d", len(p.Classes), len(old.Classes))
+	}
+	for j := range p.Classes {
+		c, oc := &p.Classes[j], &old.Classes[j]
+		if c.Flow != oc.Flow || c.Node != oc.Node {
+			return fmt.Errorf("model: refresh: class %d moved (flow %d→%d, node %d→%d)",
+				j, oc.Flow, c.Flow, oc.Node, c.Node)
+		}
+	}
+	for b := range p.Nodes {
+		if len(p.Nodes[b].FlowCost) != len(ix.flowsByNode[b]) {
+			return fmt.Errorf("model: refresh: node %d reaches %d flows, index has %d",
+				b, len(p.Nodes[b].FlowCost), len(ix.flowsByNode[b]))
+		}
+		for _, i := range ix.flowsByNode[b] {
+			if _, ok := p.Nodes[b].FlowCost[i]; !ok {
+				return fmt.Errorf("model: refresh: node %d lost flow %d", b, i)
+			}
+		}
+	}
+	for l := range p.Links {
+		if len(p.Links[l].FlowCost) != len(ix.flowsByLink[l]) {
+			return fmt.Errorf("model: refresh: link %d carries %d flows, index has %d",
+				l, len(p.Links[l].FlowCost), len(ix.flowsByLink[l]))
+		}
+		for _, i := range ix.flowsByLink[l] {
+			if _, ok := p.Links[l].FlowCost[i]; !ok {
+				return fmt.Errorf("model: refresh: link %d lost flow %d", l, i)
+			}
+		}
+	}
+
+	for b := range p.Nodes {
+		costs := ix.flowCostByNode[b]
+		for k, i := range ix.flowsByNode[b] {
+			costs[k] = p.Nodes[b].FlowCost[i]
+		}
+	}
+	for l := range p.Links {
+		costs := ix.flowCostByLink[l]
+		for k, i := range ix.flowsByLink[l] {
+			costs[k] = p.Links[l].FlowCost[i]
+		}
+	}
+	for i := range p.Flows {
+		fid := FlowID(i)
+		ncosts := ix.nodeCostByFlow[i]
+		for k, b := range ix.nodesByFlow[i] {
+			ncosts[k] = p.Nodes[b].FlowCost[fid]
+		}
+		lcosts := ix.linkCostByFlow[i]
+		for k, l := range ix.linksByFlow[i] {
+			lcosts[k] = p.Links[l].FlowCost[fid]
+		}
+	}
+	ix.p = p
+	return nil
+}
 
 // ClassesByFlow returns C_i, the classes consuming flow i.
 func (ix *Index) ClassesByFlow(i FlowID) []ClassID { return ix.classesByFlow[i] }

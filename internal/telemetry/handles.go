@@ -41,6 +41,14 @@ type EngineMetrics struct {
 	// recomputations (one per node resp. link per step).
 	NodePriceUpdates *Counter
 	LinkPriceUpdates *Counter
+	// DirtyFlows is the number of flows whose rate problem the most
+	// recent iteration actually re-solved; SkippedConstraints is the
+	// number of node and link constraints that reused their cached
+	// admission/usage instead of recomputing. Together they expose how
+	// quiet the incremental engine's dirty set has become (both pinned at
+	// the full-recompute values when core.Config.FullRecompute is set).
+	DirtyFlows         *Gauge
+	SkippedConstraints *Gauge
 	// Converged is 1 once the paper's 0.1% amplitude rule has been met
 	// during a Solve, else 0; ConvergedIteration is the 1-based
 	// iteration of first detection, or -1.
@@ -63,6 +71,10 @@ func NewEngineMetrics(reg *Registry) *EngineMetrics {
 			"Price recomputations by resource.", Label{Key: "resource", Value: "node"}),
 		LinkPriceUpdates: reg.Counter("lrgp_engine_price_updates_total",
 			"Price recomputations by resource.", Label{Key: "resource", Value: "link"}),
+		DirtyFlows: reg.Gauge("lrgp_engine_dirty_flows",
+			"Flows re-solved by the most recent incremental iteration."),
+		SkippedConstraints: reg.Gauge("lrgp_engine_skipped_constraints",
+			"Node+link constraints that reused cached state in the most recent iteration."),
 		Converged: reg.Gauge("lrgp_engine_converged",
 			"1 once the 0.1% amplitude convergence rule has been met, else 0."),
 		ConvergedIteration: reg.Gauge("lrgp_engine_converged_iteration",
@@ -78,9 +90,10 @@ func NewEngineMetrics(reg *Registry) *EngineMetrics {
 }
 
 // ObserveStep records one completed iteration: the three stage wall
-// times (nanoseconds), the resulting utility and overloads, and the
-// number of node/link price updates performed. Lock-free, 0 allocs.
-func (m *EngineMetrics) ObserveStep(stageNanos [3]int64, utility, maxNodeOverload, maxLinkOverload float64, nodes, links int) {
+// times (nanoseconds), the resulting utility and overloads, the number of
+// node/link price updates performed, and the iteration's dirty-set size
+// (flows re-solved, constraints skipped). Lock-free, 0 allocs.
+func (m *EngineMetrics) ObserveStep(stageNanos [3]int64, utility, maxNodeOverload, maxLinkOverload float64, nodes, links, dirtyFlows, skippedConstraints int) {
 	if m == nil {
 		return
 	}
@@ -93,6 +106,8 @@ func (m *EngineMetrics) ObserveStep(stageNanos [3]int64, utility, maxNodeOverloa
 	m.MaxLinkOverload.Set(maxLinkOverload)
 	m.NodePriceUpdates.Add(uint64(nodes))
 	m.LinkPriceUpdates.Add(uint64(links))
+	m.DirtyFlows.Set(float64(dirtyFlows))
+	m.SkippedConstraints.Set(float64(skippedConstraints))
 }
 
 // ObserveConvergence records a convergence detector's verdict after a

@@ -233,8 +233,15 @@ func TestObservationDoesNotAllocate(t *testing.T) {
 
 func TestNilHandlesAreSafe(t *testing.T) {
 	var em *EngineMetrics
-	em.ObserveStep([3]int64{1, 2, 3}, 10, 0, 0, 3, 2)
+	em.ObserveStep([3]int64{1, 2, 3}, 10, 0, 0, 3, 2, 1, 4)
 	em.ObserveConvergence(true, 42)
+	// The disabled path must stay one predictable branch: no allocations
+	// even with the dirty-set arguments threaded through.
+	if allocs := testing.AllocsPerRun(100, func() {
+		em.ObserveStep([3]int64{1, 2, 3}, 10, 0, 0, 3, 2, 1, 4)
+	}); allocs > 0 {
+		t.Errorf("nil-handle ObserveStep allocates %v per run, want 0", allocs)
+	}
 	var bm *BrokerMetrics
 	bm.ObservePublish(3, 1, 7)
 	bm.ObserveThrottle()
@@ -246,8 +253,8 @@ func TestNilHandlesAreSafe(t *testing.T) {
 func TestEngineMetricsObserveStep(t *testing.T) {
 	reg := NewRegistry()
 	em := NewEngineMetrics(reg)
-	em.ObserveStep([3]int64{1000, 2000, 3000}, 123.5, 0.25, -1, 3, 2)
-	em.ObserveStep([3]int64{1000, 2000, 3000}, 130, 0, -2, 3, 2)
+	em.ObserveStep([3]int64{1000, 2000, 3000}, 123.5, 0.25, -1, 3, 2, 6, 0)
+	em.ObserveStep([3]int64{1000, 2000, 3000}, 130, 0, -2, 3, 2, 2, 3)
 	if got := em.Steps.Value(); got != 2 {
 		t.Errorf("steps = %d, want 2", got)
 	}
@@ -266,6 +273,10 @@ func TestEngineMetricsObserveStep(t *testing.T) {
 	}
 	if got := em.ConvergedIteration.Value(); got != -1 {
 		t.Errorf("converged iteration starts at %g, want -1", got)
+	}
+	if em.DirtyFlows.Value() != 2 || em.SkippedConstraints.Value() != 3 {
+		t.Errorf("dirty-set gauges = (%g, %g), want (2, 3) (last write wins)",
+			em.DirtyFlows.Value(), em.SkippedConstraints.Value())
 	}
 	em.ObserveConvergence(true, 37)
 	if em.Converged.Value() != 1 || em.ConvergedIteration.Value() != 37 {

@@ -61,6 +61,8 @@ for family in \
     'lrgp_engine_stage_seconds_bucket{stage="price"' \
     lrgp_engine_utility \
     lrgp_engine_converged \
+    lrgp_engine_dirty_flows \
+    lrgp_engine_skipped_constraints \
     lrgp_broker_consumers_admitted; do
     if ! grep -Fq "${family}" <<<"${metrics}"; then
         echo "telemetry-smoke: /metrics missing ${family}" >&2
