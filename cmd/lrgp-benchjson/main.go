@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"runtime"
 	"strconv"
 	"strings"
@@ -25,12 +26,20 @@ import (
 
 // result is one parsed benchmark line.
 type result struct {
-	Name       string             `json:"name"`
-	Iterations int64              `json:"iterations"`
-	NsPerOp    float64            `json:"nsPerOp"`
-	BytesPerOp *float64           `json:"bytesPerOp,omitempty"`
-	AllocsOp   *float64           `json:"allocsPerOp,omitempty"`
-	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Name       string   `json:"name"`
+	Iterations int64    `json:"iterations"`
+	NsPerOp    float64  `json:"nsPerOp"`
+	BytesPerOp *float64 `json:"bytesPerOp,omitempty"`
+	AllocsOp   *float64 `json:"allocsPerOp,omitempty"`
+	// Speedup is the workers=1 ns/op of the same sub-benchmark family
+	// divided by this entry's ns/op: the parallel scaling factor,
+	// recorded so BENCH files track the curve directly instead of
+	// readers eyeballing raw ns/op. Present only on benchmarks with a
+	// workers=N component whose workers=1 baseline (same family, same
+	// -cpu suffix) appears in the same run; the baseline itself carries
+	// 1.0.
+	Speedup *float64           `json:"speedup,omitempty"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // record is the file layout: environment header plus results. Goos
@@ -56,6 +65,34 @@ func stampHost(rec *record) {
 	rec.NumCPU = runtime.NumCPU()
 }
 
+// workersRE matches the worker-count component of a sub-benchmark name,
+// e.g. the "workers=4" in "BenchmarkEngineStepHuge/workers=4-8".
+var workersRE = regexp.MustCompile(`workers=\d+`)
+
+// addSpeedups fills Speedup for every benchmark whose name carries a
+// workers=N component and whose family has a workers=1 entry in the same
+// run. The family key is the name with the worker count normalized to 1,
+// which keeps distinct -cpu suffixes (from go test -cpu=1,8) and distinct
+// parent benchmarks in separate families.
+func addSpeedups(rec *record) {
+	base := make(map[string]float64)
+	for _, r := range rec.Benchmarks {
+		if workersRE.FindString(r.Name) == "workers=1" && r.NsPerOp > 0 {
+			base[r.Name] = r.NsPerOp
+		}
+	}
+	for i := range rec.Benchmarks {
+		r := &rec.Benchmarks[i]
+		if !workersRE.MatchString(r.Name) || r.NsPerOp <= 0 {
+			continue
+		}
+		if b, ok := base[workersRE.ReplaceAllString(r.Name, "workers=1")]; ok {
+			s := b / r.NsPerOp
+			r.Speedup = &s
+		}
+	}
+}
+
 func main() {
 	out := flag.String("out", "", "output file (default stdout)")
 	flag.Parse()
@@ -65,6 +102,7 @@ func main() {
 		os.Exit(1)
 	}
 	stampHost(rec)
+	addSpeedups(rec)
 	w := io.Writer(os.Stdout)
 	if *out != "" {
 		f, err := os.Create(*out)

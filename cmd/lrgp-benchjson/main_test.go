@@ -42,6 +42,41 @@ ok  	repro/internal/core	3.2s
 	}
 }
 
+// TestAddSpeedups: workers=N entries gain the scaling factor against the
+// workers=1 baseline of the same family; the -cpu suffix and the parent
+// benchmark name both separate families, and names without a workers
+// component stay untouched.
+func TestAddSpeedups(t *testing.T) {
+	mk := func(name string, ns float64) result {
+		return result{Name: name, NsPerOp: ns}
+	}
+	rec := &record{Benchmarks: []result{
+		mk("BenchmarkEngineStepMetro/workers=1-8", 8000),
+		mk("BenchmarkEngineStepMetro/workers=4-8", 2500),
+		mk("BenchmarkEngineStepMetro/workers=16-8", 1000),
+		mk("BenchmarkEngineStepMetroSmall/workers=1", 400), // -cpu=1: no suffix
+		mk("BenchmarkEngineStepMetroSmall/workers=4", 100),
+		mk("BenchmarkEngineStepSteadyState/incremental/workers=4-8", 50), // no workers=1 in run
+		mk("BenchmarkFigure1Damping-8", 999),
+	}}
+	addSpeedups(rec)
+
+	want := []*float64{f(1.0), f(3.2), f(8.0), f(1.0), f(4.0), nil, nil}
+	for i, w := range want {
+		got := rec.Benchmarks[i].Speedup
+		switch {
+		case w == nil && got != nil:
+			t.Errorf("%s: speedup = %v, want absent", rec.Benchmarks[i].Name, *got)
+		case w != nil && got == nil:
+			t.Errorf("%s: speedup absent, want %v", rec.Benchmarks[i].Name, *w)
+		case w != nil && *got != *w:
+			t.Errorf("%s: speedup = %v, want %v", rec.Benchmarks[i].Name, *got, *w)
+		}
+	}
+}
+
+func f(v float64) *float64 { return &v }
+
 // TestStampHost: converted records carry the host environment so a
 // tracked perf trajectory states what it was measured on.
 func TestStampHost(t *testing.T) {

@@ -4,9 +4,9 @@
 //
 // Usage:
 //
-//	lrgp-experiments [-run all|fig1|fig2|fig3|fig4|table2|table3|async|ablation|links|prune|overhead|gamma|multirate|sweep]
-//	                 [-iters 250] [-sa-steps 1000000] [-seed 1] [-workers 0] [-csv] [-chart]
-//	                 [-trace-out run.jsonl]
+//	lrgp-experiments [-run all|fig1|fig2|fig3|fig4|table2|table3|async|ablation|links|prune|overhead|gamma|multirate|sweep|scaling]
+//	                 [-iters 250] [-sa-steps 1000000] [-seed 1] [-workers 0]
+//	                 [-workload metro-small] [-csv] [-chart] [-trace-out run.jsonl]
 //
 // -trace-out records a structured JSONL iteration trace (one
 // telemetry.IterationRecord per line: rates, consumer populations,
@@ -38,11 +38,12 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("lrgp-experiments", flag.ContinueOnError)
 	var (
-		runSpec  = fs.String("run", "all", "experiments to run (comma-separated): all, fig1, fig2, fig3, fig4, table2, table3, async, ablation, links, prune, overhead, gamma, multirate, sweep")
+		runSpec  = fs.String("run", "all", "experiments to run (comma-separated): all, fig1, fig2, fig3, fig4, table2, table3, async, ablation, links, prune, overhead, gamma, multirate, sweep, scaling")
 		iters    = fs.Int("iters", 250, "LRGP iterations per run")
 		saSteps  = fs.Int("sa-steps", 1_000_000, "full-state annealing steps per start temperature")
 		seed     = fs.Int64("seed", 1, "random seed for stochastic baselines")
 		workers  = fs.Int("workers", 0, "engine Step workers (0 = GOMAXPROCS, 1 = serial); results are identical for every count")
+		wlSpec   = fs.String("workload", "", "workload for the scaling experiment: metro, metro-small, base, <F>f-<N>n, @file.json (default metro-small)")
 		csv      = fs.Bool("csv", false, "emit figures/tables as CSV instead of text")
 		markdown = fs.Bool("markdown", false, "emit tables as GitHub-flavored Markdown")
 		chart    = fs.Bool("chart", true, "draw ASCII charts for figures")
@@ -52,7 +53,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	opts := experiments.Options{Iterations: *iters, SASteps: *saSteps, Seed: *seed, Workers: *workers}
+	opts := experiments.Options{Iterations: *iters, SASteps: *saSteps, Seed: *seed, Workers: *workers, Workload: *wlSpec}
 
 	if *traceOut != "" {
 		if err := recordTrace(out, opts, *traceOut); err != nil {
@@ -201,6 +202,13 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "  warm start saved %d of %d cold iterations (%.0f%%)\n\n",
 			res.ColdIters-res.WarmIters, res.ColdIters,
 			100*float64(res.ColdIters-res.WarmIters)/float64(res.ColdIters))
+	}
+	if selected("scaling") {
+		res, err := experiments.ScalingExperiment(opts)
+		if err != nil {
+			return err
+		}
+		emitTable(experiments.RenderScaling(res))
 	}
 	if selected("overhead") {
 		rows, err := experiments.OverheadExperiment(opts, 0)

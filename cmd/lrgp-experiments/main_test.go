@@ -44,6 +44,26 @@ func TestRunSweepExperiment(t *testing.T) {
 	}
 }
 
+// TestRunScalingExperiment: -run scaling accepts the metro presets by
+// name and reports one row per worker count with the execution mode; on
+// metro-small the sharded engines must be on the fused schedule.
+func TestRunScalingExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "scaling", "-workload", "metro-small", "-iters", "30"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "X9: Step scaling vs workers (metro-small: 240 flows, 1200 nodes, 9600 classes") {
+		t.Errorf("missing scaling table title:\n%s", s)
+	}
+	if !strings.Contains(s, "serial") || !strings.Contains(s, "fused") {
+		t.Errorf("missing execution modes:\n%s", s)
+	}
+	if err := run([]string{"-run", "scaling", "-workload", "nope"}, &out); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
 func TestRunCSVOutput(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-run", "fig4", "-iters", "40", "-csv"}, &out); err != nil {

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	lrgp-sim [-workload base|tiny|12f-6n|@file.json] [-shape log|r0.25|r0.5|r0.75]
+//	lrgp-sim [-workload base|tiny|metro|metro-small|12f-6n|@file.json] [-shape log|r0.25|r0.5|r0.75]
 //	         [-iters 250] [-gamma 0.1] [-adaptive] [-workers 0] [-full-step]
 //	         [-multirate] [-verbose] [-chart] [-csv] [-json] [-alloc]
 //	         [-telemetry-addr :9090]
@@ -39,7 +39,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("lrgp-sim", flag.ContinueOnError)
 	var (
-		workloadSpec = fs.String("workload", "base", "workload: base, tiny, <F>f-<N>n, or @file.json")
+		workloadSpec = fs.String("workload", "base", "workload: base, tiny, metro, metro-small, <F>f-<N>n, or @file.json")
 		shapeName    = fs.String("shape", "log", "utility shape: log, r0.25, r0.5, r0.75")
 		iters        = fs.Int("iters", 250, "maximum LRGP iterations")
 		gamma        = fs.Float64("gamma", 0.1, "fixed node-price stepsize (ignored with -adaptive)")

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"repro/internal/model"
@@ -104,6 +105,57 @@ func BenchmarkEngineStepHuge(b *testing.B) {
 				b.Fatal(err)
 			}
 			defer e.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e.Step()
+			}
+		})
+	}
+}
+
+// metroOnce lazily builds the full metro problem (10k flows, 100k nodes,
+// 1M classes; ~100ms and a few hundred MB) once, shared read-only across
+// the worker sub-benchmarks.
+var metroOnce struct {
+	sync.Once
+	p *model.Problem
+}
+
+// BenchmarkEngineStepMetro is the headline scaling benchmark: the full
+// metro workload stepped at increasing worker counts after settling to
+// steady state, where the hot pods keep roughly a quarter of the flows
+// orbiting the admission/price limit cycle and the cold pods quiesce onto
+// the incremental skip path. The pod structure is componentized, so the
+// sharded engines run the fused single-barrier schedule (DESIGN.md §5).
+// Build plus settle cost tens of seconds, so -short (and the CI
+// bench-smoke) runs BenchmarkEngineStepMetroSmall instead.
+func BenchmarkEngineStepMetro(b *testing.B) {
+	if testing.Short() {
+		b.Skip("full metro benchmark in -short mode")
+	}
+	metroOnce.Do(func() { metroOnce.p = workload.Metro() })
+	benchMetroWorkers(b, metroOnce.p, 80)
+}
+
+// BenchmarkEngineStepMetroSmall is the CI-sized metro scaling smoke: same
+// pod structure and steady-state mix at 1/400th the class count, small
+// enough for -benchtime=1x runs and the scripts/bench-scaling.sh assert.
+func BenchmarkEngineStepMetroSmall(b *testing.B) {
+	benchMetroWorkers(b, workload.MetroSmall(), 120)
+}
+
+func benchMetroWorkers(b *testing.B, p *model.Problem, settle int) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			e, err := NewEngine(p, Config{Adaptive: true, Workers: workers})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			for i := 0; i < settle; i++ {
+				e.Step()
+			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

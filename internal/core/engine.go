@@ -41,18 +41,31 @@ type Engine struct {
 	consumers []int
 	active    []bool
 
+	// nodePrices/linkPrices and the capacity mirrors below are the SoA
+	// operands of the Eq. 12/13 price sweeps: flat float64 arrays indexed
+	// by node/link, so the per-iteration sweep is a branch-light pass over
+	// contiguous memory. nodeCap/linkCap mirror Problem capacities and are
+	// kept in sync by NewEngine, Reset and SetNodeCapacity (the only
+	// supported capacity mutation points).
 	nodePrices []float64
 	linkPrices []float64
-	nodeGamma  []gammaController
+	nodeCap    []float64
+	linkCap    []float64
+	gamma      *gammaBank
 
 	solvers []*rateSolver
 	// scratch[s] is shard s's admission scratch; the serial path uses
-	// scratch[0].
+	// scratch[0]. Sized by the widest node, not the class count.
 	scratch [][]classBC
 
 	// pool is non-nil when the engine shards stages across workers.
 	pool   *workerPool
 	shards int
+	// plan is the crossing-writes analysis result; fused selects the
+	// single-barrier Step path (see stagePlan). Both are fixed at NewEngine
+	// because Reset preserves topology.
+	plan  *stagePlan
+	fused bool
 	// closed is set by Close; stepping a closed engine panics
 	// deterministically instead of racing the pool shutdown.
 	closed bool
@@ -86,6 +99,17 @@ type Engine struct {
 	// recomputation (set by mutators and Reset).
 	util      float64
 	utilStale bool
+	// flowUtil[i] caches flow i's objective contribution
+	// (sum over the flow's classes of n_j * U_j(r_i)), so the per-Step
+	// objective refresh touches only flows whose rate or populations moved
+	// plus an O(flows) sum — a full class sweep would dominate Step at
+	// metro scale. flowUtilEpoch[i] is the iteration the cache was last
+	// written; touchIDs[s]/touchSeen[s] are shard s's dedup'd list of flows
+	// whose populations the admission stage moved this iteration.
+	flowUtil      []float64
+	flowUtilEpoch []int
+	touchIDs      [][]int32
+	touchSeen     [][]int
 
 	// Per-shard stage accumulators, each of length shards. overNode[s]
 	// and overLink[s] collect shard s's max overload; the reduction over
@@ -103,9 +127,11 @@ type Engine struct {
 	rateChangedSh  []bool
 	popChangedSh   []bool
 
-	// stageFns are the shard entry points, bound once so dispatching a
-	// stage allocates nothing.
+	// stageFns are the three-barrier shard entry points and fusedFn the
+	// single-barrier one, bound once so dispatching a stage allocates
+	// nothing.
 	stageFns [3]func(shard int)
+	fusedFn  func(shard int)
 }
 
 // StepResult summarizes one LRGP iteration.
@@ -170,7 +196,9 @@ func NewEngine(p *model.Problem, cfg Config) (*Engine, error) {
 		active:     make([]bool, len(p.Flows)),
 		nodePrices: make([]float64, len(p.Nodes)),
 		linkPrices: make([]float64, len(p.Links)),
-		nodeGamma:  make([]gammaController, len(p.Nodes)),
+		nodeCap:    make([]float64, len(p.Nodes)),
+		linkCap:    make([]float64, len(p.Links)),
+		gamma:      newGammaBank(c, len(p.Nodes)),
 		solvers:    make([]*rateSolver, len(p.Flows)),
 		shards:     shards,
 		scratch:    make([][]classBC, shards),
@@ -186,6 +214,10 @@ func NewEngine(p *model.Problem, cfg Config) (*Engine, error) {
 		nodeBest:       make([]float64, len(p.Nodes)),
 		linkUsed:       make([]float64, len(p.Links)),
 		utilStale:      true,
+		flowUtil:       make([]float64, len(p.Flows)),
+		flowUtilEpoch:  make([]int, len(p.Flows)),
+		touchIDs:       make([][]int32, shards),
+		touchSeen:      make([][]int, shards),
 
 		overNode:       make([]float64, shards),
 		overLink:       make([]float64, shards),
@@ -195,8 +227,20 @@ func NewEngine(p *model.Problem, cfg Config) (*Engine, error) {
 		rateChangedSh:  make([]bool, shards),
 		popChangedSh:   make([]bool, shards),
 	}
+	// The admission sort never sees more candidates than the widest node
+	// has classes; sizing scratch by that (not the total class count) keeps
+	// per-shard scratch bounded on metro-scale problems where classes
+	// number ~10^6 but each node carries a few dozen.
+	maxNodeClasses := 0
+	for b := range p.Nodes {
+		if n := len(ix.ClassesByNode(model.NodeID(b))); n > maxNodeClasses {
+			maxNodeClasses = n
+		}
+	}
 	for s := range e.scratch {
-		e.scratch[s] = make([]classBC, 0, len(p.Classes))
+		e.scratch[s] = make([]classBC, 0, maxNodeClasses)
+		e.touchIDs[s] = make([]int32, 0, len(p.Flows))
+		e.touchSeen[s] = make([]int, len(p.Flows))
 	}
 	for i := range p.Flows {
 		e.rates[i] = p.Flows[i].RateMin
@@ -206,15 +250,19 @@ func NewEngine(p *model.Problem, cfg Config) (*Engine, error) {
 	}
 	for b := range e.nodePrices {
 		e.nodePrices[b] = c.InitialNodePrice
-		e.nodeGamma[b] = newGammaController(c)
+		e.nodeCap[b] = p.Nodes[b].Capacity
 		e.nodeForced[b] = true
 	}
 	for l := range e.linkPrices {
 		e.linkPrices[l] = c.InitialLinkPrice
+		e.linkCap[l] = p.Links[l].Capacity
 		e.linkForced[l] = true
 	}
 	if shards > 1 {
 		e.stageFns = [3]func(int){e.rateShard, e.nodeShard, e.linkShard}
+		e.plan = newStagePlan(p, ix, shards)
+		e.fused = e.plan.fused
+		e.fusedFn = e.fusedShard
 		e.pool = newWorkerPool(shards - 1)
 		// Backstop for engines dropped without Close: idle workers hold no
 		// reference to e (see workerPool), so the finalizer can fire and
@@ -249,12 +297,19 @@ func (e *Engine) shardRange(n, s int) (lo, hi int) {
 
 // Step performs one synchronous LRGP iteration: Algorithm 1 at every flow
 // source, then Algorithm 2 and the Equation 12 price update at every node,
-// then Algorithm 3 (Equation 13) for every link. With Workers > 1 each
-// stage fans out over the worker pool and barriers before the next; every
-// stage is data-independent within itself (rates are per-flow, admissions
-// and node prices per-node, link prices per-link), so the parallel
-// schedule performs exactly the serial arithmetic and the result is
-// bit-identical for any worker count.
+// then Algorithm 3 (Equation 13) for every link. With Workers > 1 the
+// iteration fans out over the worker pool; results are bit-identical to
+// the serial engine for any worker count.
+//
+// Two parallel schedules exist. When the crossing-writes analysis proves
+// the problem decomposes into at least Workers independent components
+// (stagePlan), each worker runs all three stages back to back over whole
+// components — one barrier per Step. Otherwise each stage fans out over
+// fixed contiguous shards and barriers before the next — three barriers,
+// but correct for arbitrarily entangled topologies. Both schedules perform
+// exactly the serial arithmetic: within a shard the stages run in serial
+// order, and every cross-shard reduction (max overload, counter sums,
+// changed flags) is order-independent.
 //
 // Step is incremental: a flow re-solves its rate problem only when some
 // price on its path or some consuming class's population changed last
@@ -280,71 +335,128 @@ func (e *Engine) Step() StepResult {
 		t0 = time.Now()
 	}
 
-	// 1. Rate allocation, using last iteration's populations and prices.
-	slots := 1
-	if e.pool != nil && len(e.p.Flows) >= minParallelItems {
-		e.pool.run(e.stageFns[0], e.shards)
-		slots = e.shards
-	} else {
-		e.rateRange(0, len(e.p.Flows), 0)
-	}
-	rateChanged := false
-	for s := 0; s < slots; s++ {
-		res.DirtyFlows += e.dirtyFlowsSh[s]
-		rateChanged = rateChanged || e.rateChangedSh[s]
-	}
-	if tel != nil {
-		now := time.Now()
-		res.StageNanos[0] = now.Sub(t0).Nanoseconds()
-		t0 = now
-	}
-
-	// 2. Greedy consumer allocation and node price update.
-	slots = 1
-	if e.pool != nil && len(e.p.Nodes) >= minParallelItems {
-		e.pool.run(e.stageFns[1], e.shards)
-		slots = e.shards
-	} else {
-		e.nodeRange(0, len(e.p.Nodes), 0)
-	}
-	popChanged := false
-	for s := 0; s < slots; s++ {
-		if e.overNode[s] > res.MaxNodeOverload {
-			res.MaxNodeOverload = e.overNode[s]
+	var rateChanged, popChanged bool
+	if e.fused {
+		// Fused path: one barrier, each worker runs
+		// rates → admission → node prices → links → flow-utility refresh
+		// for its own components.
+		e.pool.run(e.fusedFn, e.plan.shards)
+		for s := 0; s < e.plan.shards; s++ {
+			res.DirtyFlows += e.dirtyFlowsSh[s]
+			rateChanged = rateChanged || e.rateChangedSh[s]
+			if e.overNode[s] > res.MaxNodeOverload {
+				res.MaxNodeOverload = e.overNode[s]
+			}
+			res.SkippedNodes += e.skippedNodesSh[s]
+			popChanged = popChanged || e.popChangedSh[s]
+			if e.overLink[s] > res.MaxLinkOverload {
+				res.MaxLinkOverload = e.overLink[s]
+			}
+			res.SkippedLinks += e.skippedLinksSh[s]
 		}
-		res.SkippedNodes += e.skippedNodesSh[s]
-		popChanged = popChanged || e.popChangedSh[s]
-	}
-	if tel != nil {
-		now := time.Now()
-		res.StageNanos[1] = now.Sub(t0).Nanoseconds()
-		t0 = now
-	}
-
-	// 3. Link price update.
-	slots = 1
-	if e.pool != nil && len(e.p.Links) >= minParallelItems {
-		e.pool.run(e.stageFns[2], e.shards)
-		slots = e.shards
-	} else {
-		e.linkRange(0, len(e.p.Links), 0)
-	}
-	for s := 0; s < slots; s++ {
-		if e.overLink[s] > res.MaxLinkOverload {
-			res.MaxLinkOverload = e.overLink[s]
+		if tel != nil {
+			// The fused super-stage has no internal barriers to time;
+			// its whole wall time lands in the rate slot.
+			res.StageNanos[0] = time.Since(t0).Nanoseconds()
 		}
-		res.SkippedLinks += e.skippedLinksSh[s]
-	}
-	if tel != nil {
-		res.StageNanos[2] = time.Since(t0).Nanoseconds()
+	} else {
+		// 1. Rate allocation, using last iteration's populations and
+		// prices.
+		slots := 1
+		if e.pool != nil && len(e.p.Flows) >= minParallelItems {
+			e.pool.run(e.stageFns[0], e.shards)
+			slots = e.shards
+		} else {
+			e.rateRange(0, len(e.p.Flows), 0)
+		}
+		for s := 0; s < slots; s++ {
+			res.DirtyFlows += e.dirtyFlowsSh[s]
+			rateChanged = rateChanged || e.rateChangedSh[s]
+		}
+		if tel != nil {
+			now := time.Now()
+			res.StageNanos[0] = now.Sub(t0).Nanoseconds()
+			t0 = now
+		}
+
+		// 2. Greedy consumer allocation and node price update.
+		nodeSlots := 1
+		if e.pool != nil && len(e.p.Nodes) >= minParallelItems {
+			e.pool.run(e.stageFns[1], e.shards)
+			nodeSlots = e.shards
+		} else {
+			e.nodeRange(0, len(e.p.Nodes), 0)
+		}
+		for s := 0; s < nodeSlots; s++ {
+			if e.overNode[s] > res.MaxNodeOverload {
+				res.MaxNodeOverload = e.overNode[s]
+			}
+			res.SkippedNodes += e.skippedNodesSh[s]
+			popChanged = popChanged || e.popChangedSh[s]
+		}
+		if tel != nil {
+			now := time.Now()
+			res.StageNanos[1] = now.Sub(t0).Nanoseconds()
+			t0 = now
+		}
+
+		// 3. Link price update.
+		slots = 1
+		if e.pool != nil && len(e.p.Links) >= minParallelItems {
+			e.pool.run(e.stageFns[2], e.shards)
+			slots = e.shards
+		} else {
+			e.linkRange(0, len(e.p.Links), 0)
+		}
+		for s := 0; s < slots; s++ {
+			if e.overLink[s] > res.MaxLinkOverload {
+				res.MaxLinkOverload = e.overLink[s]
+			}
+			res.SkippedLinks += e.skippedLinksSh[s]
+		}
+		if tel != nil {
+			res.StageNanos[2] = time.Since(t0).Nanoseconds()
+		}
+
+		// Refresh the per-flow utility cache serially: rate-dirty flows
+		// plus the flows whose populations the admission stage touched
+		// (the fused path does this inside each shard).
+		t := e.iteration
+		if e.utilStale || e.full {
+			for i := range e.flowUtil {
+				e.flowUtilItem(i)
+			}
+		} else {
+			for i := range e.flowUtil {
+				if e.rateEpoch[i] == t {
+					e.flowUtilItem(i)
+				}
+			}
+			for s := 0; s < nodeSlots; s++ {
+				for _, i := range e.touchIDs[s] {
+					if e.flowUtilEpoch[i] != t {
+						e.flowUtilItem(int(i))
+					}
+				}
+			}
+		}
+		for s := range e.touchIDs {
+			e.touchIDs[s] = e.touchIDs[s][:0]
+		}
 	}
 
 	// The objective only moves when a rate or population moved; otherwise
 	// the cached sum is the exact value the full recomputation would
 	// produce. Full mode recomputes unconditionally, like the
-	// pre-incremental engine.
+	// pre-incremental engine. The sum runs over the per-flow cache in
+	// ascending flow order — the same association Utility uses — so the
+	// incremental value is bit-identical to the from-scratch one.
 	if e.full || rateChanged || popChanged || e.utilStale {
-		e.util = e.Utility()
+		total := 0.0
+		for _, u := range e.flowUtil {
+			total += u
+		}
+		e.util = total
 		e.utilStale = false
 	}
 	res.Utility = e.util
@@ -392,37 +504,53 @@ func (e *Engine) rateOne(i int) {
 	e.rates[i] = e.solvers[i].solve(e.consumers, price)
 }
 
+// rateItem runs the incremental rate update for flow i (skip check,
+// Algorithm 1, epoch bookkeeping), accumulating into the caller's dirty
+// count and changed flag.
+func (e *Engine) rateItem(i, prev int, dirty *int, changed *bool) {
+	if !(e.full || e.flowForced[i] || e.flowDirty(i, prev)) {
+		return
+	}
+	e.flowForced[i] = false
+	*dirty++
+	old := e.rates[i]
+	e.rateOne(i)
+	if e.rates[i] != old {
+		e.rateEpoch[i] = e.iteration
+		*changed = true
+	}
+}
+
 // rateRange runs the rate stage over flows [lo, hi), writing shard slot s
 // of the stage accumulators.
 func (e *Engine) rateRange(lo, hi, s int) {
 	prev := e.iteration - 1
 	dirty, changed := 0, false
 	for i := lo; i < hi; i++ {
-		if !(e.full || e.flowForced[i] || e.flowDirty(i, prev)) {
-			continue
-		}
-		e.flowForced[i] = false
-		dirty++
-		old := e.rates[i]
-		e.rateOne(i)
-		if e.rates[i] != old {
-			e.rateEpoch[i] = e.iteration
-			changed = true
-		}
+		e.rateItem(i, prev, &dirty, &changed)
 	}
 	e.dirtyFlowsSh[s] = dirty
 	e.rateChangedSh[s] = changed
 }
 
-// nodeOne runs Algorithm 2 and the Equation 12 price update for node b,
-// returning the node's overload (usage minus capacity; possibly negative).
-// It writes only b's populations, price and gamma state. Admission is
-// skipped — the cached used/bestUnsatisfied reused — when no crossing
-// flow's rate changed this iteration and no mutator forced the node; the
-// price update and gamma observation always run, because the Equation 12
-// damping and the controller state move every iteration until the exact
-// fixpoint.
-func (e *Engine) nodeOne(b int, scratch []classBC, skipped *int, popChanged *bool) float64 {
+// rateList is rateRange over an explicit flow list (the fused path's
+// component shards).
+func (e *Engine) rateList(ids []int32, s int) {
+	prev := e.iteration - 1
+	dirty, changed := 0, false
+	for _, i := range ids {
+		e.rateItem(int(i), prev, &dirty, &changed)
+	}
+	e.dirtyFlowsSh[s] = dirty
+	e.rateChangedSh[s] = changed
+}
+
+// admitItem runs the admission half of the node stage for node b:
+// Algorithm 2 when a crossing flow's rate changed this iteration (or a
+// mutator forced the node), cache reuse otherwise. Population changes mark
+// the node's crossing flows in shard s's touch list so the flow-utility
+// cache refresh knows what moved.
+func (e *Engine) admitItem(b, s int, scratch []classBC, skipped *int, popChanged *bool) {
 	bid := model.NodeID(b)
 	recompute := e.full || e.nodeForced[b]
 	if !recompute {
@@ -434,59 +562,148 @@ func (e *Engine) nodeOne(b int, scratch []classBC, skipped *int, popChanged *boo
 			}
 		}
 	}
-	var used, best float64
-	if recompute {
-		e.nodeForced[b] = false
-		out := admitNode(e.p, e.ix, bid, e.rates, e.active, e.consumers, scratch,
-			e.popEpoch, e.iteration)
-		used, best = out.used, out.bestUnsatisfied
-		e.nodeUsed[b], e.nodeBest[b] = used, best
-		if out.popChanged {
-			*popChanged = true
-		}
-	} else {
+	if !recompute {
 		*skipped++
-		used, best = e.nodeUsed[b], e.nodeBest[b]
+		return
 	}
-	capacity := e.p.Nodes[b].Capacity
-
-	gamma1, gamma2 := e.cfg.Gamma1, e.cfg.Gamma2
-	prev := e.nodePrices[b]
-	if e.cfg.Adaptive {
-		gamma1 = e.nodeGamma[b].gamma
-		gamma2 = gamma1
+	e.nodeForced[b] = false
+	out := admitNode(e.p, e.ix, bid, e.rates, e.active, e.consumers, scratch,
+		e.popEpoch, e.iteration)
+	e.nodeUsed[b], e.nodeBest[b] = out.used, out.bestUnsatisfied
+	if out.popChanged {
+		*popChanged = true
+		e.touchFlows(s, bid)
 	}
-	next := nodePriceUpdate(prev, best, used, capacity, gamma1, gamma2)
-	if e.cfg.Adaptive {
-		e.nodeGamma[b].observe(priceGap(prev, best, used, capacity), prev)
-	}
-	if next != prev {
-		e.nodePriceEpoch[b] = e.iteration
-	}
-	e.nodePrices[b] = next
-	return used - capacity
 }
 
-// nodeRange runs the admission stage over nodes [lo, hi), writing shard
-// slot s of the stage accumulators.
-func (e *Engine) nodeRange(lo, hi, s int) {
-	scratch := e.scratch[s]
-	over, skipped, popChanged := 0.0, 0, false
+// touchFlows adds node b's crossing flows to shard s's touch list —
+// a superset of the flows whose populations actually moved, which is safe:
+// re-deriving a clean flow's cached utility reproduces the identical
+// float. touchSeen dedups per shard and iteration, bounding the list by
+// the flow count so appends never grow the preallocated backing array.
+func (e *Engine) touchFlows(s int, b model.NodeID) {
+	t := e.iteration
+	seen := e.touchSeen[s]
+	ids := e.touchIDs[s]
+	for _, i := range e.ix.FlowsByNode(b) {
+		if seen[i] != t {
+			seen[i] = t
+			ids = append(ids, int32(i))
+		}
+	}
+	e.touchIDs[s] = ids
+}
+
+// nodePriceRange is the price half of the node stage over nodes [lo, hi):
+// the Equation 12 sweep as a branch-light pass over the flat
+// price/used/best/capacity arrays, returning the range's max overload.
+// It is split from admission so the sweep reads SoA state the admission
+// pass has fully settled — admission never reads prices, so running all
+// admissions before all price updates performs the serial arithmetic
+// exactly.
+func (e *Engine) nodePriceRange(lo, hi int) float64 {
+	over := 0.0
+	t := e.iteration
+	prices, used, best, caps := e.nodePrices, e.nodeUsed, e.nodeBest, e.nodeCap
+	if e.cfg.Adaptive {
+		for b := lo; b < hi; b++ {
+			u, cp, prev := used[b], caps[b], prices[b]
+			g := e.gamma.val[b]
+			next := nodePriceUpdate(prev, best[b], u, cp, g, g)
+			e.gamma.observe(b, priceGap(prev, best[b], u, cp), prev)
+			if next != prev {
+				e.nodePriceEpoch[b] = t
+			}
+			prices[b] = next
+			if o := u - cp; o > over {
+				over = o
+			}
+		}
+		return over
+	}
+	g1, g2 := e.cfg.Gamma1, e.cfg.Gamma2
 	for b := lo; b < hi; b++ {
-		if o := e.nodeOne(b, scratch, &skipped, &popChanged); o > over {
+		u, cp, prev := used[b], caps[b], prices[b]
+		next := nodePriceUpdate(prev, best[b], u, cp, g1, g2)
+		if next != prev {
+			e.nodePriceEpoch[b] = t
+		}
+		prices[b] = next
+		if o := u - cp; o > over {
 			over = o
 		}
 	}
-	e.overNode[s] = over
+	return over
+}
+
+// nodePriceList is nodePriceRange over an explicit node list.
+func (e *Engine) nodePriceList(ids []int32) float64 {
+	over := 0.0
+	t := e.iteration
+	prices, used, best, caps := e.nodePrices, e.nodeUsed, e.nodeBest, e.nodeCap
+	if e.cfg.Adaptive {
+		for _, b := range ids {
+			u, cp, prev := used[b], caps[b], prices[b]
+			g := e.gamma.val[b]
+			next := nodePriceUpdate(prev, best[b], u, cp, g, g)
+			e.gamma.observe(int(b), priceGap(prev, best[b], u, cp), prev)
+			if next != prev {
+				e.nodePriceEpoch[b] = t
+			}
+			prices[b] = next
+			if o := u - cp; o > over {
+				over = o
+			}
+		}
+		return over
+	}
+	g1, g2 := e.cfg.Gamma1, e.cfg.Gamma2
+	for _, b := range ids {
+		u, cp, prev := used[b], caps[b], prices[b]
+		next := nodePriceUpdate(prev, best[b], u, cp, g1, g2)
+		if next != prev {
+			e.nodePriceEpoch[b] = t
+		}
+		prices[b] = next
+		if o := u - cp; o > over {
+			over = o
+		}
+	}
+	return over
+}
+
+// nodeRange runs the node stage over nodes [lo, hi) — all admissions, then
+// the price sweep — writing shard slot s of the stage accumulators.
+func (e *Engine) nodeRange(lo, hi, s int) {
+	scratch := e.scratch[s]
+	skipped, popChanged := 0, false
+	for b := lo; b < hi; b++ {
+		e.admitItem(b, s, scratch, &skipped, &popChanged)
+	}
+	e.overNode[s] = e.nodePriceRange(lo, hi)
 	e.skippedNodesSh[s] = skipped
 	e.popChangedSh[s] = popChanged
 }
 
-// linkOne runs the Equation 13 update for link l, returning the link's
-// overload. It writes only link l's price, epoch and cached usage. The
-// usage re-sum is skipped when no traversing flow's rate changed this
-// iteration; the gradient-projection price update always runs.
-func (e *Engine) linkOne(l int, skipped *int) float64 {
+// nodeList is nodeRange over an explicit node list.
+func (e *Engine) nodeList(ids []int32, s int) {
+	scratch := e.scratch[s]
+	skipped, popChanged := 0, false
+	for _, b := range ids {
+		e.admitItem(int(b), s, scratch, &skipped, &popChanged)
+	}
+	e.overNode[s] = e.nodePriceList(ids)
+	e.skippedNodesSh[s] = skipped
+	e.popChangedSh[s] = popChanged
+}
+
+// linkUsageItem is the usage half of the link stage for link l: re-sum
+// when a traversing flow's rate changed this iteration (or a mutator
+// forced the link), cache reuse otherwise. The sum drops the per-flow
+// active check the old inner loop carried: an inactive flow's rate is
+// identically zero (rateOne and SetFlowActive both pin it), and since
+// every term is non-negative, adding its exact 0.0 cannot perturb the sum.
+func (e *Engine) linkUsageItem(l int, skipped *int) {
 	lid := model.LinkID(l)
 	recompute := e.full || e.linkForced[l]
 	if !recompute {
@@ -498,40 +715,79 @@ func (e *Engine) linkOne(l int, skipped *int) float64 {
 			}
 		}
 	}
-	var used float64
-	if recompute {
-		e.linkForced[l] = false
-		costs := e.ix.FlowCostsByLink(lid)
-		for k, i := range e.ix.FlowsByLink(lid) {
-			if e.active[i] {
-				used += costs[k] * e.rates[i]
-			}
-		}
-		e.linkUsed[l] = used
-	} else {
+	if !recompute {
 		*skipped++
-		used = e.linkUsed[l]
+		return
 	}
-	capacity := e.p.Links[l].Capacity
-	prev := e.linkPrices[l]
-	next := linkPriceUpdate(prev, used, capacity, e.cfg.LinkGamma)
-	if next != prev {
-		e.linkPriceEpoch[l] = e.iteration
+	e.linkForced[l] = false
+	used := 0.0
+	costs := e.ix.FlowCostsByLink(lid)
+	for k, i := range e.ix.FlowsByLink(lid) {
+		used += costs[k] * e.rates[i]
 	}
-	e.linkPrices[l] = next
-	return used - capacity
+	e.linkUsed[l] = used
 }
 
-// linkRange runs the link-price stage over links [lo, hi), writing shard
-// slot s of the stage accumulators.
-func (e *Engine) linkRange(lo, hi, s int) {
-	over, skipped := 0.0, 0
+// linkPriceRange is the Equation 13 sweep over links [lo, hi) as a
+// branch-light pass over the flat price/used/capacity arrays, returning
+// the range's max overload.
+func (e *Engine) linkPriceRange(lo, hi int) float64 {
+	over := 0.0
+	t := e.iteration
+	g := e.cfg.LinkGamma
+	prices, used, caps := e.linkPrices, e.linkUsed, e.linkCap
 	for l := lo; l < hi; l++ {
-		if o := e.linkOne(l, &skipped); o > over {
+		u, cp, prev := used[l], caps[l], prices[l]
+		next := linkPriceUpdate(prev, u, cp, g)
+		if next != prev {
+			e.linkPriceEpoch[l] = t
+		}
+		prices[l] = next
+		if o := u - cp; o > over {
 			over = o
 		}
 	}
-	e.overLink[s] = over
+	return over
+}
+
+// linkPriceList is linkPriceRange over an explicit link list.
+func (e *Engine) linkPriceList(ids []int32) float64 {
+	over := 0.0
+	t := e.iteration
+	g := e.cfg.LinkGamma
+	prices, used, caps := e.linkPrices, e.linkUsed, e.linkCap
+	for _, l := range ids {
+		u, cp, prev := used[l], caps[l], prices[l]
+		next := linkPriceUpdate(prev, u, cp, g)
+		if next != prev {
+			e.linkPriceEpoch[l] = t
+		}
+		prices[l] = next
+		if o := u - cp; o > over {
+			over = o
+		}
+	}
+	return over
+}
+
+// linkRange runs the link stage over links [lo, hi) — all usage re-sums,
+// then the price sweep — writing shard slot s of the stage accumulators.
+func (e *Engine) linkRange(lo, hi, s int) {
+	skipped := 0
+	for l := lo; l < hi; l++ {
+		e.linkUsageItem(l, &skipped)
+	}
+	e.overLink[s] = e.linkPriceRange(lo, hi)
+	e.skippedLinksSh[s] = skipped
+}
+
+// linkList is linkRange over an explicit link list.
+func (e *Engine) linkList(ids []int32, s int) {
+	skipped := 0
+	for _, l := range ids {
+		e.linkUsageItem(int(l), &skipped)
+	}
+	e.overLink[s] = e.linkPriceList(ids)
 	e.skippedLinksSh[s] = skipped
 }
 
@@ -551,6 +807,53 @@ func (e *Engine) nodeShard(s int) {
 func (e *Engine) linkShard(s int) {
 	lo, hi := e.shardRange(len(e.p.Links), s)
 	e.linkRange(lo, hi, s)
+}
+
+// fusedShard runs the whole iteration for shard s of the stage plan: the
+// shard's flows, nodes and links are unions of connected components, so
+// every value a stage reads was either written by this same goroutine
+// earlier in the call (rates before admissions before link sums, exactly
+// the serial order) or is untouched this iteration by anyone else. The
+// trailing flow-utility refresh likewise touches only this shard's flows.
+func (e *Engine) fusedShard(s int) {
+	e.rateList(e.plan.flows[s], s)
+	e.nodeList(e.plan.nodes[s], s)
+	e.linkList(e.plan.links[s], s)
+
+	t := e.iteration
+	flows := e.plan.flows[s]
+	if e.utilStale || e.full {
+		for _, i := range flows {
+			e.flowUtilItem(int(i))
+		}
+	} else {
+		for _, i := range flows {
+			if e.rateEpoch[i] == t {
+				e.flowUtilItem(int(i))
+			}
+		}
+		for _, i := range e.touchIDs[s] {
+			if e.flowUtilEpoch[i] != t {
+				e.flowUtilItem(int(i))
+			}
+		}
+	}
+	e.touchIDs[s] = e.touchIDs[s][:0]
+}
+
+// flowUtilItem recomputes flow i's cached objective contribution from the
+// current rate and populations, stamping the cache epoch.
+func (e *Engine) flowUtilItem(i int) {
+	total := 0.0
+	r := e.rates[i]
+	classes := e.p.Classes
+	for _, cid := range e.ix.ClassesByFlow(model.FlowID(i)) {
+		if n := e.consumers[cid]; n != 0 {
+			total += float64(n) * classes[cid].Utility.Value(r)
+		}
+	}
+	e.flowUtil[i] = total
+	e.flowUtilEpoch[i] = e.iteration
 }
 
 // flowPrice computes PL_i + PB_i (Equations 8 and 9) for flow i from the
@@ -574,17 +877,22 @@ func (e *Engine) flowPrice(i model.FlowID) float64 {
 	return price
 }
 
-// Utility returns the current objective value (Equation 1). Classes of
-// inactive flows contribute nothing (their populations are zero).
+// Utility returns the current objective value (Equation 1), computed from
+// scratch. Classes of inactive flows contribute nothing (their populations
+// are zero). The sum is grouped by flow — the same association the
+// engine's per-flow cache uses — so a from-scratch value always matches
+// Step's incremental one bit for bit.
 func (e *Engine) Utility() float64 {
 	total := 0.0
-	for j := range e.p.Classes {
-		n := e.consumers[j]
-		if n == 0 {
-			continue
+	for i := range e.p.Flows {
+		r := e.rates[i]
+		sub := 0.0
+		for _, cid := range e.ix.ClassesByFlow(model.FlowID(i)) {
+			if n := e.consumers[cid]; n != 0 {
+				sub += float64(n) * e.p.Classes[cid].Utility.Value(r)
+			}
 		}
-		c := &e.p.Classes[j]
-		total += float64(n) * c.Utility.Value(e.rates[c.Flow])
+		total += sub
 	}
 	return total
 }
@@ -666,8 +974,9 @@ func (e *Engine) SetNodeCapacity(b model.NodeID, capacity float64) error {
 		return fmt.Errorf("core: node %d capacity %g <= 0", b, capacity)
 	}
 	e.p.Nodes[b].Capacity = capacity
+	e.nodeCap[b] = capacity
 	// The admission budget changed; the cached used/bestUnsatisfied are
-	// stale. (The price update reads capacity fresh each iteration.)
+	// stale. (The price sweep reads the capacity mirror each iteration.)
 	e.nodeForced[b] = true
 	return nil
 }
@@ -713,23 +1022,36 @@ func (e *Engine) Reset(p *model.Problem) error {
 	}
 
 	// Every cached value is suspect under the new problem: restart the
-	// epoch clock and force a full first iteration.
+	// epoch clock and force a full first iteration. The epoch and
+	// touch-dedup arrays must really be cleared, not just left behind —
+	// the restarted iteration counter will revisit their old values, and a
+	// stale match would wrongly skip a recompute.
 	e.iteration = 0
 	e.util, e.utilStale = 0, true
 	for i := range e.flowForced {
 		e.flowForced[i] = true
 		e.rateEpoch[i] = 0
+		e.flowUtilEpoch[i] = 0
 	}
 	for b := range e.nodeForced {
 		e.nodeForced[b] = true
 		e.nodePriceEpoch[b] = 0
+		e.nodeCap[b] = p.Nodes[b].Capacity
 	}
 	for l := range e.linkForced {
 		e.linkForced[l] = true
 		e.linkPriceEpoch[l] = 0
+		e.linkCap[l] = p.Links[l].Capacity
 	}
 	for j := range e.popEpoch {
 		e.popEpoch[j] = 0
+	}
+	for s := range e.touchSeen {
+		seen := e.touchSeen[s]
+		for i := range seen {
+			seen[i] = 0
+		}
+		e.touchIDs[s] = e.touchIDs[s][:0]
 	}
 	return nil
 }
@@ -771,10 +1093,8 @@ func (e *Engine) LinkPrices() []float64 {
 // Gammas returns a copy of the per-node adaptive stepsizes (meaningful only
 // with Config.Adaptive).
 func (e *Engine) Gammas() []float64 {
-	out := make([]float64, len(e.nodeGamma))
-	for b := range e.nodeGamma {
-		out[b] = e.nodeGamma[b].gamma
-	}
+	out := make([]float64, len(e.gamma.val))
+	copy(out, e.gamma.val)
 	return out
 }
 

@@ -66,30 +66,89 @@ func newGammaController(cfg Config) gammaController {
 // observe folds one price-update gap (and the price level it applied to)
 // into the controller and returns the gamma for the next update.
 func (g *gammaController) observe(gap, price float64) float64 {
+	g.gamma, g.prevGap, g.sameRun, g.havePrev = gammaStep(
+		g.gamma, gap, price, g.prevGap, g.sameRun, g.havePrev,
+		g.min, g.max, g.step, g.deadband, g.surge)
+	return g.gamma
+}
+
+// gammaStep is the controller transition function, shared verbatim by the
+// AoS gammaController (distributed node agents own one controller each) and
+// the engine's SoA gammaBank so the two can never drift: it takes the
+// current state plus one (gap, price) observation and returns the next
+// state.
+func gammaStep(gamma, gap, price, prevGap float64, sameRun int, havePrev bool,
+	min, max, step, deadband, surge float64) (float64, float64, int, bool) {
 	s := 0.0
 	if gap != 0 {
 		s = abs(gap) / (abs(price) + abs(gap))
 	}
-	flipped := g.havePrev && s > g.deadband && gap*g.prevGap < 0
-	if s > g.deadband {
+	flipped := havePrev && s > deadband && gap*prevGap < 0
+	if s > deadband {
 		if flipped {
-			g.sameRun = 0
-		} else if g.havePrev && gap*g.prevGap > 0 {
-			g.sameRun++
+			sameRun = 0
+		} else if havePrev && gap*prevGap > 0 {
+			sameRun++
 		}
-		g.prevGap = gap
-		g.havePrev = true
+		prevGap = gap
+		havePrev = true
 	}
 	switch {
 	case flipped:
-		g.gamma /= 2
-	case s > g.surge && g.sameRun >= surgeRuns:
-		g.gamma *= 2
+		gamma /= 2
+	case s > surge && sameRun >= surgeRuns:
+		gamma *= 2
 	default:
-		g.gamma += g.step
+		gamma += step
 	}
-	g.gamma = clamp(g.gamma, g.min, g.max)
-	return g.gamma
+	return clamp(gamma, min, max), prevGap, sameRun, havePrev
+}
+
+// gammaBank holds the adaptive-gamma state for every node in
+// structure-of-arrays layout: the engine's price sweep reads val[b] with a
+// plain indexed load instead of striding over an array of seven-field
+// structs, and the controller-state arrays are touched only on the observe
+// path. All banks of one engine share the scalar clamp/threshold config.
+type gammaBank struct {
+	val      []float64
+	prevGap  []float64
+	sameRun  []int32
+	havePrev []bool
+
+	min, max float64
+	step     float64
+	deadband float64
+	surge    float64
+}
+
+// newGammaBank builds the bank for n nodes, normalizing the config exactly
+// like newGammaController (including the GammaLiteral overrides).
+func newGammaBank(cfg Config, n int) *gammaBank {
+	proto := newGammaController(cfg)
+	g := &gammaBank{
+		val:      make([]float64, n),
+		prevGap:  make([]float64, n),
+		sameRun:  make([]int32, n),
+		havePrev: make([]bool, n),
+		min:      proto.min,
+		max:      proto.max,
+		step:     proto.step,
+		deadband: proto.deadband,
+		surge:    proto.surge,
+	}
+	for b := range g.val {
+		g.val[b] = proto.gamma
+	}
+	return g
+}
+
+// observe folds one observation into node b's controller state.
+func (g *gammaBank) observe(b int, gap, price float64) {
+	run := int(g.sameRun[b])
+	g.val[b], g.prevGap[b], run, g.havePrev[b] = gammaStep(
+		g.val[b], gap, price, g.prevGap[b], run, g.havePrev[b],
+		g.min, g.max, g.step, g.deadband, g.surge)
+	g.sameRun[b] = int32(run)
 }
 
 func abs(x float64) float64 {

@@ -31,9 +31,12 @@ type Snapshot struct {
 	// Workers is the engine's normalized worker count and Sharded reports
 	// whether Step actually fans out over the pool (large-enough problem
 	// and Workers > 1); results are identical either way, so these matter
-	// only for performance diagnostics.
+	// only for performance diagnostics. Fused reports that the crossing-
+	// writes analysis proved the problem componentized and Step runs the
+	// single-barrier fused schedule (DESIGN.md §5).
 	Workers int
 	Sharded bool
+	Fused   bool
 }
 
 // String renders a one-line summary of the snapshot: iteration, utility,
@@ -49,7 +52,10 @@ func (s Snapshot) String() string {
 		fmt.Fprintf(&b, " peak-link-load=%.1f%%", 100*load)
 	}
 	mode := "serial"
-	if s.Sharded {
+	switch {
+	case s.Fused:
+		mode = "fused"
+	case s.Sharded:
 		mode = "sharded"
 	}
 	fmt.Fprintf(&b, " workers=%d (%s)", s.Workers, mode)
@@ -87,6 +93,7 @@ func (e *Engine) Snapshot() Snapshot {
 		FlowActive:   make([]bool, len(e.p.Flows)),
 		Workers:      e.cfg.Workers,
 		Sharded:      e.pool != nil,
+		Fused:        e.fused,
 	}
 	copy(s.FlowActive, e.active)
 

@@ -36,6 +36,13 @@ type Options struct {
 	// bit-identical across worker counts, so this only changes wall-clock
 	// time.
 	Workers int
+	// Workload names the instance for experiments that take one (today
+	// the X9 scaling experiment): any workload.Parse spec — "metro",
+	// "metro-small", "base", "<F>f-<N>n", "@file.json". Empty selects the
+	// experiment's own default. The paper-reproduction experiments ignore
+	// it: their workloads are fixed by the figures and tables they
+	// regenerate.
+	Workload string
 }
 
 func (o Options) normalized() Options {

@@ -1,6 +1,9 @@
 package model
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // Index precomputes the lookup functions of Section 2.2/2.3 of the paper
 // (flowMap, attachMap, nodeClasses, linkMap, nodeMap and their inverses) so
@@ -64,20 +67,34 @@ func NewIndex(p *Problem) *Index {
 		ix.classesByFlow[c.Flow] = append(ix.classesByFlow[c.Flow], c.ID)
 		ix.classesByNode[c.Node] = append(ix.classesByNode[c.Node], c.ID)
 	}
+	// Membership lists come from the sparse cost maps directly — O(edges)
+	// rather than O(resources × flows), which matters once workloads reach
+	// metro scale (10^4 flows × 10^5 nodes). Sorting each key set keeps the
+	// lists in the same ascending order the dense scans produced.
 	for _, n := range p.Nodes {
-		for i := range p.Flows {
-			if _, ok := n.FlowCost[FlowID(i)]; ok {
-				ix.flowsByNode[n.ID] = append(ix.flowsByNode[n.ID], FlowID(i))
-				ix.nodesByFlow[i] = append(ix.nodesByFlow[i], n.ID)
-			}
+		flows := make([]FlowID, 0, len(n.FlowCost))
+		for i := range n.FlowCost {
+			flows = append(flows, i)
+		}
+		slices.Sort(flows)
+		ix.flowsByNode[n.ID] = flows
+	}
+	for b := range p.Nodes {
+		for _, i := range ix.flowsByNode[b] {
+			ix.nodesByFlow[i] = append(ix.nodesByFlow[i], NodeID(b))
 		}
 	}
 	for _, l := range p.Links {
-		for i := range p.Flows {
-			if _, ok := l.FlowCost[FlowID(i)]; ok {
-				ix.flowsByLink[l.ID] = append(ix.flowsByLink[l.ID], FlowID(i))
-				ix.linksByFlow[i] = append(ix.linksByFlow[i], l.ID)
-			}
+		flows := make([]FlowID, 0, len(l.FlowCost))
+		for i := range l.FlowCost {
+			flows = append(flows, i)
+		}
+		slices.Sort(flows)
+		ix.flowsByLink[l.ID] = flows
+	}
+	for l := range p.Links {
+		for _, i := range ix.flowsByLink[l] {
+			ix.linksByFlow[i] = append(ix.linksByFlow[i], LinkID(l))
 		}
 	}
 
@@ -111,13 +128,14 @@ func NewIndex(p *Problem) *Index {
 		lists := make([][]ClassID, len(nodes))
 		for k, b := range nodes {
 			ncosts[k] = p.Nodes[b].FlowCost[fid]
-			// Both classesByFlow[i] and classesByNode[b] are in ascending
-			// class order, so filtering either yields the same sequence;
-			// filtering the (usually shorter) per-flow list is cheaper.
-			for _, cid := range ix.classesByFlow[i] {
-				if p.Classes[cid].Node == b {
-					lists[k] = append(lists[k], cid)
-				}
+		}
+		// One pass over the flow's classes, binary-searching each class's
+		// node in the (sorted) nodesByFlow list: classesByFlow[i] is in
+		// ascending class order, so each lists[k] comes out ascending too.
+		for _, cid := range ix.classesByFlow[i] {
+			k, ok := slices.BinarySearch(nodes, p.Classes[cid].Node)
+			if ok {
+				lists[k] = append(lists[k], cid)
 			}
 		}
 		ix.nodeCostByFlow[i] = ncosts

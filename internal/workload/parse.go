@@ -17,6 +17,9 @@ var ErrUnknownWorkload = errors.New("workload: unknown workload")
 //
 //   - "base" — the Table 1 workload;
 //   - "tiny" — the brute-forceable instance;
+//   - "metro" — the full metro-scale pod workload (10k flows, 100k nodes,
+//     1M classes; see Metro);
+//   - "metro-small" — the CI-sized metro slice (see MetroSmall);
 //   - "<F>f-<N>n" — a scaled workload with F flows and N consumer nodes
 //     (F a multiple of 6, N a multiple of 3*F/6), e.g. "12f-6n", "6f-24n";
 //   - "@path.json" — a problem loaded from a JSON file.
@@ -32,6 +35,10 @@ func Parse(spec string, shape Shape) (*model.Problem, error) {
 		return Scaled(Config{Shape: shape}), nil
 	case spec == "tiny":
 		return Tiny(), nil
+	case spec == "metro":
+		return Metro(), nil
+	case spec == "metro-small":
+		return MetroSmall(), nil
 	case strings.HasPrefix(spec, "@"):
 		return loadJSON(spec[1:])
 	}
