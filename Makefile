@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench bench-core bench-broker bench-scaling fuzz experiments examples telemetry-smoke clean
+.PHONY: all build vet lint test race cover bench bench-core bench-broker bench-dist bench-scaling fuzz experiments examples telemetry-smoke clean
 
 all: build vet lint test
 
@@ -50,6 +50,14 @@ bench-core:
 bench-broker:
 	$(GO) test -run='^$$' -bench='Publish|ApplyAllocation' -benchmem -cpu=1,4 ./internal/broker/ \
 		| $(GO) run ./cmd/lrgp-benchjson -out BENCH_broker.json
+
+# Distributed-runtime benchmarks recorded as JSON: codec encode/decode
+# ns/op (transport), JSON-vs-binary bytes/round, plain-vs-batched
+# frames/round, and rounds-to-converge per staleness bound K.
+bench-dist:
+	$(GO) test -run='^$$' -bench='DistWire|DistBatch|DistStaleness|SyncRound|Message' -benchmem \
+		./internal/dist/ ./internal/transport/ \
+		| $(GO) run ./cmd/lrgp-benchjson -out BENCH_dist.json
 
 # Scaling-regression gate: workers=8 must beat workers=1 by >= 1.5x on
 # the metro-small benchmark (skips loudly on hosts with < 4 CPUs).

@@ -54,6 +54,10 @@ func run(args []string, out io.Writer) error {
 	var (
 		optimizer     = fs.String("optimizer", "colocated", "optimizer formulation: colocated (synchronous engine) or dist (message-passing agents)")
 		transportName = fs.String("transport", "memory", "transport for -optimizer dist: memory or tcp")
+		distWire      = fs.String("dist-wire", "json", "wire format for -optimizer dist: json or binary")
+		distBatch     = fs.Bool("dist-batch", false, "coalesce -optimizer dist traffic into one frame per host per flush")
+		distHosts     = fs.Int("dist-hosts", 0, "simulated host count for -dist-batch gateways (0 = one per node)")
+		distStaleness = fs.Int("dist-staleness", 0, "bounded-staleness K for -optimizer dist rounds (0 = synchronous barrier)")
 		rounds        = fs.Int("rounds", 120, "LRGP iterations (colocated) or synchronous rounds (dist)")
 		workers       = fs.Int("workers", 0, "colocated engine Step workers (0 = GOMAXPROCS, 1 = serial)")
 		reopt         = fs.Int("reopt", 0, "warm re-optimization rounds after the initial colocated solve (perturb capacities, Engine.Reset, re-solve)")
@@ -154,9 +158,19 @@ func run(args []string, out io.Writer) error {
 		}
 		defer net.Close()
 
-		fmt.Fprintf(out, "optimizing %s over %s transport (%d agents)...\n",
-			p.Name, *transportName, len(p.Flows)+len(p.Nodes))
-		cl, err := dist.New(p, dist.Config{Core: core.Config{Adaptive: true}}, net)
+		wire, err := transport.ParseWire(*distWire)
+		if err != nil {
+			return fmt.Errorf("-dist-wire: %w", err)
+		}
+		fmt.Fprintf(out, "optimizing %s over %s transport (%d agents, %s wire, batch=%v, K=%d)...\n",
+			p.Name, *transportName, len(p.Flows)+len(p.Nodes), wire, *distBatch, *distStaleness)
+		cl, err := dist.New(p, dist.Config{
+			Core:      core.Config{Adaptive: true},
+			Wire:      wire,
+			Batch:     *distBatch,
+			Hosts:     *distHosts,
+			Staleness: *distStaleness,
+		}, net)
 		if err != nil {
 			return err
 		}

@@ -216,6 +216,11 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		emitTable(experiments.RenderOverhead(rows))
+		rt, err := experiments.DistRuntimeExperiment(opts, 0)
+		if err != nil {
+			return err
+		}
+		emitTable(experiments.RenderDistRuntime(rt))
 	}
 	if selected("links") {
 		res, err := experiments.LinkBottleneckExperiment(opts, 0)

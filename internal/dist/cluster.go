@@ -27,6 +27,10 @@ const (
 const (
 	DefaultTick        = 2 * time.Millisecond
 	DefaultPriceWindow = 3
+	// DefaultResend is the stall re-announce interval in bounded-staleness
+	// mode: an agent blocked this long re-sends its freshest value so a
+	// dropped frame cannot deadlock the cluster.
+	DefaultResend = 10 * time.Millisecond
 )
 
 // Config tunes a Cluster.
@@ -39,12 +43,45 @@ type Config struct {
 	// DefaultTick).
 	Tick time.Duration
 	// PriceWindow is how many recent prices a flow source averages per
-	// resource in Async mode (default DefaultPriceWindow; Sync always
-	// uses the latest price only).
+	// resource (default DefaultPriceWindow). Barrier-synchronous runs
+	// always use the latest price only; Async and bounded-staleness runs
+	// average per Section 3.5.
 	PriceWindow int
 	// Multirate runs the multirate extension's algorithms at the agents
 	// (per-class delivery rates); see internal/multirate.
 	Multirate bool
+
+	// Wire selects the message encoding (transport.WireJSON, the
+	// compatible default, or transport.WireBinary for the compact
+	// varint-framed codec). The trajectory is identical either way; only
+	// the bytes on the wire differ.
+	Wire transport.Wire
+	// Batch co-locates agents onto gateway hosts: intra-host messages
+	// skip the wire entirely and cross-host traffic is batched into one
+	// frame per host pair per flush epoch (see gateway.go). In Async mode
+	// later writes within an epoch coalesce over unsent earlier ones.
+	Batch bool
+	// Hosts is the number of gateway hosts when batching (default: one
+	// per node). Nodes map to hosts in contiguous blocks; each flow agent
+	// is co-located with its source node.
+	Hosts int
+	// FlushInterval is the gateway batch epoch (default
+	// DefaultFlushInterval).
+	FlushInterval time.Duration
+
+	// Staleness bounds how many rounds behind an agent's inputs may be in
+	// Sync mode (Section 3.5 averaging tolerates the skew). 0 keeps the
+	// exact barrier schedule; K > 0 lets agents proceed on values up to K
+	// rounds stale, which overlaps rounds and rides out message loss.
+	Staleness int
+	// Resend is the stall re-announce interval for bounded-staleness
+	// runs (default DefaultResend when Staleness > 0; < 0 disables).
+	Resend time.Duration
+
+	// staleLoop forces the bounded-staleness agent loop even at
+	// Staleness == 0 (used by tests to prove the K=0 schedule is
+	// bit-identical to the barrier loop).
+	staleLoop bool
 }
 
 func (c Config) normalized() Config {
@@ -58,8 +95,22 @@ func (c Config) normalized() Config {
 	if c.PriceWindow <= 0 {
 		c.PriceWindow = DefaultPriceWindow
 	}
-	if c.Mode == Sync {
+	if c.Staleness < 0 {
+		c.Staleness = 0
+	}
+	if c.Staleness > 0 {
+		c.staleLoop = true
+	}
+	if c.Mode == Sync && c.Staleness == 0 {
+		// Barrier schedule (and its bit-identical K=0 staleness variant):
+		// latest price only.
 		c.PriceWindow = 1
+	}
+	if c.staleLoop && c.Resend == 0 {
+		c.Resend = DefaultResend
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = DefaultFlushInterval
 	}
 	return c
 }
@@ -79,15 +130,26 @@ type Cluster struct {
 	p   *model.Problem
 	cfg Config
 
-	flows []*flowAgent
-	nodes []*nodeAgent
-	ctrl  transport.Endpoint // for sending control messages
-	coll  *collector
+	flows    []*flowAgent
+	nodes    []*nodeAgent
+	ctrl     transport.Endpoint // for sending control messages
+	coll     *collector
+	gateways []*gateway
+	route    map[string]string // agent name -> host endpoint (batch mode)
 
 	mu      sync.Mutex
 	started bool
 	closed  bool
 	ran     int // highest round requested in sync mode
+}
+
+// setWire applies the configured wire format to endpoints that support
+// per-endpoint selection (the TCP transport; the in-memory transport
+// passes structs through and has nothing to select).
+func setWire(ep transport.Endpoint, w transport.Wire) {
+	if ws, ok := ep.(transport.WireSelector); ok {
+		ws.SetWire(w)
+	}
 }
 
 // New validates the problem and attaches all agents to the network. Agents
@@ -105,6 +167,7 @@ func New(p *model.Problem, cfg Config, net transport.Network) (*Cluster, error) 
 	if err != nil {
 		return nil, fmt.Errorf("dist: collector endpoint: %w", err)
 	}
+	setWire(collEP, c.Wire)
 	// Only nodes that see at least one flow (directly or via an owned
 	// link) ever compute and report; the collector must not wait for the
 	// silent ones.
@@ -120,27 +183,49 @@ func New(p *model.Problem, cfg Config, net transport.Network) (*Cluster, error) 
 			reporting++
 		}
 	}
-	cl.coll = newCollector(p, collEP, reporting)
+	cl.coll = newCollector(p, collEP, reporting, c.Staleness == 0)
 
 	ctrlEP, err := net.Endpoint("cluster-ctrl")
 	if err != nil {
 		return nil, fmt.Errorf("dist: control endpoint: %w", err)
 	}
+	setWire(ctrlEP, c.Wire)
 	cl.ctrl = ctrlEP
 
+	// endpointFor hands each agent its attachment: a plain network
+	// endpoint, or a port on its host's batching gateway.
+	endpointFor := func(name string) (transport.Endpoint, error) {
+		if !c.Batch {
+			ep, err := net.Endpoint(name)
+			if err != nil {
+				return nil, err
+			}
+			setWire(ep, c.Wire)
+			return ep, nil
+		}
+		gw := cl.gateways[hostIndex(cl.route[name], len(cl.gateways))]
+		return gw.port(name), nil
+	}
+
+	if c.Batch {
+		if err := cl.buildGateways(p, net, c); err != nil {
+			return nil, err
+		}
+	}
+
 	for i := range p.Flows {
-		ep, err := net.Endpoint(flowName(model.FlowID(i)))
+		ep, err := endpointFor(flowName(model.FlowID(i)))
 		if err != nil {
 			return nil, fmt.Errorf("dist: flow %d endpoint: %w", i, err)
 		}
-		cl.flows = append(cl.flows, newFlowAgent(p, ix, model.FlowID(i), ep, c.Core, c.PriceWindow, c.Tick, c.Multirate))
+		cl.flows = append(cl.flows, newFlowAgent(p, ix, model.FlowID(i), ep, c))
 	}
 	for b := range p.Nodes {
-		ep, err := net.Endpoint(nodeName(model.NodeID(b)))
+		ep, err := endpointFor(nodeName(model.NodeID(b)))
 		if err != nil {
 			return nil, fmt.Errorf("dist: node %d endpoint: %w", b, err)
 		}
-		cl.nodes = append(cl.nodes, newNodeAgent(p, ix, model.NodeID(b), ep, c.Core, c.Tick, c.Multirate))
+		cl.nodes = append(cl.nodes, newNodeAgent(p, ix, model.NodeID(b), ep, c))
 	}
 
 	// Launch all agents; in Sync mode flow agents idle until a RunUntil
@@ -148,30 +233,96 @@ func New(p *model.Problem, cfg Config, net transport.Network) (*Cluster, error) 
 	go cl.coll.run()
 	for _, fa := range cl.flows {
 		fa := fa
-		if c.Mode == Sync {
-			go fa.runSync()
-		} else {
+		switch {
+		case c.Mode != Sync:
 			go fa.runAsync()
+		case c.staleLoop:
+			go fa.runStale()
+		default:
+			go fa.runSync()
 		}
 	}
 	for _, na := range cl.nodes {
 		na := na
-		if c.Mode == Sync {
-			go na.runSync()
-		} else {
+		switch {
+		case c.Mode != Sync:
 			go na.runAsync()
+		case c.staleLoop:
+			go na.runStale()
+		default:
+			go na.runSync()
 		}
 	}
 	cl.started = true
 	return cl, nil
 }
 
+// buildGateways creates the host endpoints and the agent->host routing
+// table. Nodes map to hosts in contiguous blocks; flow agents co-locate
+// with their source node, so source-local exchanges never touch the wire.
+func (cl *Cluster) buildGateways(p *model.Problem, net transport.Network, c Config) error {
+	hosts := c.Hosts
+	if hosts <= 0 || hosts > len(p.Nodes) {
+		hosts = len(p.Nodes)
+	}
+	cl.route = make(map[string]string, len(p.Flows)+len(p.Nodes)+1)
+	for b := range p.Nodes {
+		cl.route[nodeName(model.NodeID(b))] = hostName(b * hosts / len(p.Nodes))
+	}
+	for i := range p.Flows {
+		cl.route[flowName(model.FlowID(i))] = cl.route[nodeName(p.Flows[i].Source)]
+	}
+	cl.route[collectorName] = collectorName
+	for k := 0; k < hosts; k++ {
+		ep, err := net.Endpoint(hostName(k))
+		if err != nil {
+			return fmt.Errorf("dist: host %d endpoint: %w", k, err)
+		}
+		setWire(ep, c.Wire)
+		cl.gateways = append(cl.gateways, newGateway(ep, c.Wire, cl.route, c.Mode == Async, c.FlushInterval))
+	}
+	return nil
+}
+
+// hostIndex parses the numeric suffix of a host endpoint name ("host/7").
+func hostIndex(host string, n int) int {
+	k := 0
+	for i := len("host/"); i < len(host); i++ {
+		k = k*10 + int(host[i]-'0')
+	}
+	if k < 0 || k >= n {
+		return 0
+	}
+	return k
+}
+
 // ErrMode is returned when an operation does not apply to the cluster's
 // execution mode.
 var ErrMode = errors.New("dist: operation not valid in this mode")
 
+// sendCtrl encodes and delivers one control message to an agent (directly,
+// or wrapped in a single-message batch frame to the agent's host gateway
+// in batch mode). All errors surface to the caller.
+func (cl *Cluster) sendCtrl(to string, body ctrlMsg) error {
+	payload, err := encodeBody(cl.cfg.Wire, nil, body)
+	if err != nil {
+		return err
+	}
+	msg := transport.Message{From: cl.ctrl.Name(), To: to, Kind: ctrlKind, Payload: payload}
+	if host, ok := cl.route[to]; ok && host != to {
+		bp, err := encodeBatch(cl.cfg.Wire, []transport.Message{msg})
+		if err != nil {
+			return err
+		}
+		msg = transport.Message{From: cl.ctrl.Name(), To: host, Kind: batchKind, Payload: bp}
+	}
+	return cl.ctrl.Send(msg)
+}
+
 // Run advances a Sync cluster by `rounds` lock-step rounds and returns the
-// per-round global utilities observed by the collector.
+// per-round global utilities observed by the collector. In bounded-
+// staleness mode over a lossy transport, rounds whose frames were lost are
+// absent from the result.
 func (cl *Cluster) Run(rounds int, timeout time.Duration) ([]RoundStats, error) {
 	if cl.cfg.Mode != Sync {
 		return nil, ErrMode
@@ -186,11 +337,7 @@ func (cl *Cluster) Run(rounds int, timeout time.Duration) ([]RoundStats, error) 
 	cl.mu.Unlock()
 
 	for _, fa := range cl.flows {
-		msg, err := transport.Encode(cl.ctrl.Name(), fa.ep.Name(), ctrlKind, ctrlMsg{RunUntil: until})
-		if err != nil {
-			return nil, err
-		}
-		if err := cl.ctrl.Send(msg); err != nil {
+		if err := cl.sendCtrl(fa.ep.Name(), ctrlMsg{RunUntil: until}); err != nil {
 			return nil, fmt.Errorf("dist: run ctrl: %w", err)
 		}
 	}
@@ -211,11 +358,7 @@ func (cl *Cluster) Sample() RoundStats {
 // callers must invoke it between Run calls. A removed flow's agent idles
 // and can rejoin via JoinFlow.
 func (cl *Cluster) RemoveFlow(i model.FlowID) error {
-	msg, err := transport.Encode(cl.ctrl.Name(), flowName(i), ctrlKind, ctrlMsg{Leave: true})
-	if err != nil {
-		return err
-	}
-	return cl.ctrl.Send(msg)
+	return cl.sendCtrl(flowName(i), ctrlMsg{Leave: true})
 }
 
 // JoinFlow re-activates a previously removed flow: its agent re-announces
@@ -223,11 +366,7 @@ func (cl *Cluster) RemoveFlow(i model.FlowID) error {
 // must be invoked between Run calls in Sync mode (when no rounds are
 // pending anywhere).
 func (cl *Cluster) JoinFlow(i model.FlowID) error {
-	msg, err := transport.Encode(cl.ctrl.Name(), flowName(i), ctrlKind, ctrlMsg{Join: true})
-	if err != nil {
-		return err
-	}
-	return cl.ctrl.Send(msg)
+	return cl.sendCtrl(flowName(i), ctrlMsg{Join: true})
 }
 
 // Allocation returns the collector's latest global allocation view.
@@ -236,7 +375,9 @@ func (cl *Cluster) Allocation() model.Allocation {
 }
 
 // Close stops every agent. The underlying network is owned by the caller
-// and is not closed.
+// and is not closed. Control-send failures surface in the returned error
+// (joined across agents), except fault-injected drops, which the lossy
+// modes are designed to tolerate.
 func (cl *Cluster) Close() error {
 	cl.mu.Lock()
 	if cl.closed {
@@ -246,40 +387,51 @@ func (cl *Cluster) Close() error {
 	cl.closed = true
 	cl.mu.Unlock()
 
+	var errs []error
+	ctrlErr := func(err error) {
+		if err != nil && !errors.Is(err, transport.ErrDropped) {
+			errs = append(errs, err)
+		}
+	}
 	stop := ctrlMsg{Stop: true}
 	for _, fa := range cl.flows {
-		if msg, err := transport.Encode(cl.ctrl.Name(), fa.ep.Name(), ctrlKind, stop); err == nil {
-			_ = cl.ctrl.Send(msg)
-		}
+		ctrlErr(cl.sendCtrl(fa.ep.Name(), stop))
 	}
 	for _, na := range cl.nodes {
-		if msg, err := transport.Encode(cl.ctrl.Name(), na.ep.Name(), ctrlKind, stop); err == nil {
-			_ = cl.ctrl.Send(msg)
-		}
+		ctrlErr(cl.sendCtrl(na.ep.Name(), stop))
 	}
-	if msg, err := transport.Encode(cl.ctrl.Name(), collectorName, ctrlKind, stop); err == nil {
-		_ = cl.ctrl.Send(msg)
-	}
+	ctrlErr(cl.sendCtrl(collectorName, stop))
 
+	// One shared grace period across all agents. A Stop can be lost under
+	// fault injection, so an agent may legitimately never stop; once the
+	// deadline fires (time.After delivers exactly once) stop waiting on
+	// the rest instead of selecting on the drained channel forever.
 	deadline := time.After(5 * time.Second)
-	for _, fa := range cl.flows {
+	timedOut := false
+	wait := func(done <-chan struct{}, what string) {
+		if timedOut {
+			return
+		}
 		select {
-		case <-fa.done:
+		case <-done:
 		case <-deadline:
-			return errors.New("dist: timeout stopping flow agents")
+			timedOut = true
+			errs = append(errs, fmt.Errorf("dist: timeout stopping %s", what))
 		}
 	}
-	for _, na := range cl.nodes {
-		select {
-		case <-na.done:
-		case <-deadline:
-			return errors.New("dist: timeout stopping node agents")
+	// On a send failure the agents may never see their stop; give them the
+	// grace period only when the control plane worked.
+	if len(errs) == 0 {
+		for _, fa := range cl.flows {
+			wait(fa.done, "flow agents")
 		}
+		for _, na := range cl.nodes {
+			wait(na.done, "node agents")
+		}
+		wait(cl.coll.done, "collector")
 	}
-	select {
-	case <-cl.coll.done:
-	case <-deadline:
-		return errors.New("dist: timeout stopping collector")
+	for _, gw := range cl.gateways {
+		gw.close()
 	}
-	return nil
+	return errors.Join(errs...)
 }

@@ -2,6 +2,7 @@ package dist
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 	"time"
 
@@ -23,15 +24,27 @@ type collector struct {
 	consumers  []int
 	deliveries []float64
 	active     []bool
-	// sync-mode round assembly.
-	roundRates   map[int]map[model.FlowID]float64
-	roundPops    map[int]map[model.ClassID]int
-	roundDel     map[int]map[model.ClassID]float64
-	rateSeen     map[int]int
-	reportSeen   map[int]int
-	nodesTotal   int
-	stats        []RoundStats
+	// sync-mode round assembly. reportSeen tracks reporting nodes as a
+	// set, not a count, so resent reports (bounded-staleness mode) are
+	// deduplicated. activeCount and roundGot (rates recorded per round
+	// from currently-active flows) are maintained incrementally so the
+	// per-message completeness check is O(1) — a full scan per message is
+	// what melts the collector on thousand-agent clusters.
+	roundRates  map[int]map[model.FlowID]float64
+	roundPops   map[int]map[model.ClassID]int
+	roundDel    map[int]map[model.ClassID]float64
+	reportSeen  map[int]map[model.NodeID]bool
+	activeCount int
+	roundGot    map[int]int
+	nodesTotal  int
+	stats       []RoundStats
+	// inOrder finalizes rounds strictly sequentially (the lossless
+	// barrier protocol). When false (bounded-staleness mode over lossy
+	// transports) any fully-assembled round finalizes, and rounds whose
+	// frames were lost are simply skipped.
+	inOrder      bool
 	nextComplete int
+	completed    map[int]bool // skip mode only
 	waiters      []roundWaiter
 	samples      int
 
@@ -47,7 +60,7 @@ type roundWaiter struct {
 // node agents that actually report each round: nodes reached by at least
 // one flow or owning at least one link with flows (a node with neither
 // never computes).
-func newCollector(p *model.Problem, ep transport.Endpoint, nodesTotal int) *collector {
+func newCollector(p *model.Problem, ep transport.Endpoint, nodesTotal int, inOrder bool) *collector {
 	c := &collector{
 		p:            p,
 		ep:           ep,
@@ -58,10 +71,13 @@ func newCollector(p *model.Problem, ep transport.Endpoint, nodesTotal int) *coll
 		roundRates:   make(map[int]map[model.FlowID]float64),
 		roundPops:    make(map[int]map[model.ClassID]int),
 		roundDel:     make(map[int]map[model.ClassID]float64),
-		rateSeen:     make(map[int]int),
-		reportSeen:   make(map[int]int),
+		reportSeen:   make(map[int]map[model.NodeID]bool),
+		roundGot:     make(map[int]int),
+		activeCount:  len(p.Flows),
 		nodesTotal:   nodesTotal,
+		inOrder:      inOrder,
 		nextComplete: 1,
+		completed:    make(map[int]bool),
 		done:         make(chan struct{}),
 	}
 	for i := range c.active {
@@ -76,52 +92,97 @@ func newCollector(p *model.Problem, ep transport.Endpoint, nodesTotal int) *coll
 func (c *collector) run() {
 	defer close(c.done)
 	for m := range c.ep.Recv() {
-		switch m.Kind {
-		case ctrlKind:
-			var cm ctrlMsg
-			if err := transport.Decode(m, &cm); err != nil {
-				continue
-			}
-			if cm.Stop {
-				return
-			}
-		case rateKind:
-			var rm rateMsg
-			if err := transport.Decode(m, &rm); err != nil {
-				continue
-			}
-			c.absorbRate(rm)
-		case reportKind:
-			var rm reportMsg
-			if err := transport.Decode(m, &rm); err != nil {
-				continue
-			}
-			c.absorbReport(rm)
+		if !c.handle(m) {
+			return
 		}
 	}
+}
+
+// handle dispatches one message (or, for batch frames, each inner
+// message), returning false on Stop.
+func (c *collector) handle(m transport.Message) bool {
+	switch m.Kind {
+	case batchKind:
+		inner, err := decodeBatch(m.Payload)
+		if err != nil {
+			return true
+		}
+		for _, im := range inner {
+			if !c.handle(im) {
+				return false
+			}
+		}
+	case ctrlKind:
+		cm, err := decodeCtrl(m)
+		if err != nil {
+			return true
+		}
+		if cm.Stop {
+			return false
+		}
+	case rateKind:
+		rm, err := decodeRate(m)
+		if err != nil {
+			return true
+		}
+		c.absorbRate(rm)
+	case reportKind:
+		rm, err := decodeReport(m)
+		if err != nil {
+			return true
+		}
+		c.absorbReport(rm)
+	}
+	return true
 }
 
 func (c *collector) absorbRate(rm rateMsg) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if !rm.Active {
-		c.active[rm.Flow] = false
+		if c.active[rm.Flow] {
+			c.active[rm.Flow] = false
+			c.activeCount--
+			c.recountPendingLocked()
+		}
 		c.rates[rm.Flow] = 0
 		for j := range c.p.Classes {
 			if c.p.Classes[j].Flow == rm.Flow {
 				c.consumers[j] = 0
 			}
 		}
-		c.completeRoundsLocked()
+		c.completeRoundsLocked(rm.Round)
 		return
 	}
-	c.active[rm.Flow] = true // a rejoining flow becomes active again
+	if !c.active[rm.Flow] { // a rejoining flow becomes active again
+		c.active[rm.Flow] = true
+		c.activeCount++
+		c.recountPendingLocked()
+	}
 	c.rates[rm.Flow] = rm.Rate
 	if c.roundRates[rm.Round] == nil {
 		c.roundRates[rm.Round] = make(map[model.FlowID]float64)
 	}
+	if _, seen := c.roundRates[rm.Round][rm.Flow]; !seen {
+		c.roundGot[rm.Round]++
+	}
 	c.roundRates[rm.Round][rm.Flow] = rm.Rate
-	c.completeRoundsLocked()
+	c.completeRoundsLocked(rm.Round)
+}
+
+// recountPendingLocked rebuilds the per-round active-rate counters after a
+// flow's activity flips. Departures and rejoins are rare control events, so
+// the full recount stays off the hot path.
+func (c *collector) recountPendingLocked() {
+	for round, rates := range c.roundRates {
+		got := 0
+		for i := range rates {
+			if c.active[i] {
+				got++
+			}
+		}
+		c.roundGot[round] = got
+	}
 }
 
 func (c *collector) absorbReport(rm reportMsg) {
@@ -145,77 +206,93 @@ func (c *collector) absorbReport(rm reportMsg) {
 			c.roundDel[rm.Round][cid] = d
 		}
 	}
-	c.reportSeen[rm.Round]++
-	c.completeRoundsLocked()
+	if c.reportSeen[rm.Round] == nil {
+		c.reportSeen[rm.Round] = make(map[model.NodeID]bool)
+	}
+	c.reportSeen[rm.Round][rm.Node] = true
+	c.completeRoundsLocked(rm.Round)
 }
 
-// completeRoundsLocked finalizes rounds in order once all active flows'
-// rates and all node reports have arrived.
-func (c *collector) completeRoundsLocked() {
-	for {
-		round := c.nextComplete
-		activeFlows := 0
-		for i := range c.active {
-			if c.active[i] {
-				activeFlows++
-			}
+// completeRoundsLocked finalizes rounds whose full input set has arrived.
+// In inOrder mode rounds finalize strictly sequentially from nextComplete;
+// in skip mode (bounded staleness over lossy transports) the round just
+// touched finalizes independently, since earlier rounds may never
+// assemble.
+func (c *collector) completeRoundsLocked(touched int) {
+	if c.inOrder {
+		for c.finalizeLocked(c.nextComplete) {
+			c.nextComplete++
 		}
-		if activeFlows == 0 {
-			return
-		}
-		gotRates := 0
-		for i := range c.roundRates[round] {
-			if c.active[i] {
-				gotRates++
-			}
-		}
-		if gotRates < activeFlows || c.reportSeen[round] < c.nodesTotal {
-			return
-		}
-
-		// Utility of the completed round, from the round's own rates,
-		// populations and (in multirate mode) per-class deliveries;
-		// inactive flows contribute nothing.
-		util := 0.0
-		rates := c.roundRates[round]
-		pops := c.roundPops[round]
-		dels := c.roundDel[round]
-		for j := range c.p.Classes {
-			cl := &c.p.Classes[j]
-			n, ok := pops[model.ClassID(j)]
-			if !ok || n == 0 || !c.active[cl.Flow] {
-				continue
-			}
-			rate := rates[cl.Flow]
-			if d, ok := dels[model.ClassID(j)]; ok {
-				rate = d
-			}
-			util += float64(n) * cl.Utility.Value(rate)
-		}
-		c.stats = append(c.stats, RoundStats{Round: round, Utility: util})
-		delete(c.roundRates, round)
-		delete(c.roundPops, round)
-		delete(c.roundDel, round)
-		delete(c.reportSeen, round)
-		delete(c.rateSeen, round)
-		c.nextComplete++
-
-		var still []roundWaiter
-		for _, w := range c.waiters {
-			if round >= w.round {
-				close(w.ch)
-			} else {
-				still = append(still, w)
-			}
-		}
-		c.waiters = still
+		return
 	}
+	if !c.completed[touched] && c.finalizeLocked(touched) {
+		c.completed[touched] = true
+	}
+}
+
+// finalizeLocked checks completeness of one round and, if complete,
+// computes its utility, appends stats, and wakes waiters. It reports
+// whether the round was finalized.
+func (c *collector) finalizeLocked(round int) bool {
+	if c.activeCount == 0 {
+		return false
+	}
+	if c.roundGot[round] < c.activeCount || len(c.reportSeen[round]) < c.nodesTotal {
+		return false
+	}
+
+	// Utility of the completed round, from the round's own rates,
+	// populations and (in multirate mode) per-class deliveries; inactive
+	// flows contribute nothing.
+	util := 0.0
+	rates := c.roundRates[round]
+	pops := c.roundPops[round]
+	dels := c.roundDel[round]
+	for j := range c.p.Classes {
+		cl := &c.p.Classes[j]
+		n, ok := pops[model.ClassID(j)]
+		if !ok || n == 0 || !c.active[cl.Flow] {
+			continue
+		}
+		rate := rates[cl.Flow]
+		if d, ok := dels[model.ClassID(j)]; ok {
+			rate = d
+		}
+		util += float64(n) * cl.Utility.Value(rate)
+	}
+	c.stats = append(c.stats, RoundStats{Round: round, Utility: util})
+	delete(c.roundRates, round)
+	delete(c.roundPops, round)
+	delete(c.roundDel, round)
+	delete(c.reportSeen, round)
+	delete(c.roundGot, round)
+
+	var still []roundWaiter
+	for _, w := range c.waiters {
+		if c.waiterSatisfiedLocked(w, round) {
+			close(w.ch)
+		} else {
+			still = append(still, w)
+		}
+	}
+	c.waiters = still
+	return true
+}
+
+// waiterSatisfiedLocked reports whether finalizing `round` releases w: in
+// inOrder mode every round up to w.round has then completed; in skip mode
+// the waited-for round itself must finalize (earlier ones may never).
+func (c *collector) waiterSatisfiedLocked(w roundWaiter, round int) bool {
+	if c.inOrder {
+		return round >= w.round
+	}
+	return round == w.round || c.completed[w.round]
 }
 
 // waitRound blocks until the given round has been finalized.
 func (c *collector) waitRound(round int, timeout time.Duration) error {
 	c.mu.Lock()
-	if c.nextComplete > round {
+	if (c.inOrder && c.nextComplete > round) || (!c.inOrder && c.completed[round]) {
 		c.mu.Unlock()
 		return nil
 	}
@@ -233,7 +310,8 @@ func (c *collector) waitRound(round int, timeout time.Duration) error {
 	}
 }
 
-// rounds returns the finalized stats for rounds [from, to].
+// rounds returns the finalized stats for rounds [from, to], in round
+// order. In skip mode, rounds whose frames were lost are absent.
 func (c *collector) rounds(from, to int) []RoundStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -243,6 +321,7 @@ func (c *collector) rounds(from, to int) []RoundStats {
 			out = append(out, s)
 		}
 	}
+	slices.SortFunc(out, func(a, b RoundStats) int { return a.Round - b.Round })
 	return out
 }
 

@@ -3,6 +3,7 @@ package dist
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"time"
 
 	"repro/internal/core"
@@ -22,16 +23,23 @@ type flowAgent struct {
 	mr *multirate.SourceRateSolver
 
 	// Static path structure.
-	nodes      []model.NodeID // B_i
-	nodeCoefF  map[model.NodeID]float64
-	classNode  map[model.ClassID]model.NodeID
-	classCost  map[model.ClassID]float64 // G_{b,j}
-	links      []model.LinkID            // L_i
+	nodes     []model.NodeID // B_i
+	nodeCoefF map[model.NodeID]float64
+	classNode map[model.ClassID]model.NodeID
+	classCost map[model.ClassID]float64 // G_{b,j}
+	// classesAt lists the flow's classes grouped by node in ascending
+	// class-id order, so the Equation 9 coefficient sum has a fixed float
+	// association order (maps iterate randomly, which would make
+	// trajectories differ at ULP level run to run).
+	classesAt  map[model.NodeID][]classTerm
+	links      []model.LinkID // L_i
 	linkCoef   map[model.LinkID]float64
 	linkOwner  map[model.LinkID]model.NodeID
-	peerNames  []string // node agents to exchange with (deduped)
+	peerNames  []string       // node agents to exchange with (deduped)
+	peerNodes  []model.NodeID // same set as peerNames, as ids
 	peerCount  int
 	priceAvgWn int // async price-averaging window (>=1)
+	wire       transport.Wire
 
 	// Dynamic state.
 	consumers []int
@@ -42,8 +50,15 @@ type flowAgent struct {
 	leaving   bool
 	idle      bool          // departed but able to rejoin
 	tickEvery time.Duration // async mode when > 0
+	staleness int           // bounded-staleness window (runStale only)
+	resend    time.Duration // re-announce interval when stalled (runStale)
 
 	done chan struct{}
+}
+
+type classTerm struct {
+	cid  model.ClassID
+	cost float64
 }
 
 // priceWindow keeps the last w prices from one resource and serves their
@@ -80,7 +95,7 @@ func (pw *priceWindow) avg() float64 {
 	return sum / float64(pw.n)
 }
 
-func newFlowAgent(p *model.Problem, ix *model.Index, fid model.FlowID, ep transport.Endpoint, cfg core.Config, window int, tick time.Duration, multirateMode bool) *flowAgent {
+func newFlowAgent(p *model.Problem, ix *model.Index, fid model.FlowID, ep transport.Endpoint, c Config) *flowAgent {
 	fa := &flowAgent{
 		p:          p,
 		flow:       fid,
@@ -89,42 +104,54 @@ func newFlowAgent(p *model.Problem, ix *model.Index, fid model.FlowID, ep transp
 		nodeCoefF:  make(map[model.NodeID]float64),
 		classNode:  make(map[model.ClassID]model.NodeID),
 		classCost:  make(map[model.ClassID]float64),
+		classesAt:  make(map[model.NodeID][]classTerm),
 		linkCoef:   make(map[model.LinkID]float64),
 		linkOwner:  make(map[model.LinkID]model.NodeID),
 		consumers:  make([]int, len(p.Classes)),
 		nodePrice:  make(map[model.NodeID]*priceWindow),
 		linkPrice:  make(map[model.LinkID]*priceWindow),
-		priceAvgWn: window,
+		priceAvgWn: c.PriceWindow,
+		wire:       c.Wire,
 		round:      1,
-		tickEvery:  tick,
+		tickEvery:  c.Tick,
+		staleness:  c.Staleness,
+		resend:     c.Resend,
 		done:       make(chan struct{}),
 	}
-	peers := make(map[string]bool)
+	peers := make(map[model.NodeID]bool)
 	for _, b := range ix.NodesByFlow(fid) {
 		fa.nodes = append(fa.nodes, b)
 		fa.nodeCoefF[b] = p.Nodes[b].FlowCost[fid]
-		fa.nodePrice[b] = newPriceWindow(window)
-		fa.nodePrice[b].push(cfg.InitialNodePrice)
-		peers[nodeName(b)] = true
+		fa.nodePrice[b] = newPriceWindow(c.PriceWindow)
+		fa.nodePrice[b].push(c.Core.InitialNodePrice)
+		peers[b] = true
 	}
 	for _, cid := range ix.ClassesByFlow(fid) {
-		c := &p.Classes[cid]
-		fa.classNode[cid] = c.Node
-		fa.classCost[cid] = c.CostPerConsumer
+		cl := &p.Classes[cid]
+		fa.classNode[cid] = cl.Node
+		fa.classCost[cid] = cl.CostPerConsumer
+		fa.classesAt[cl.Node] = append(fa.classesAt[cl.Node], classTerm{cid: cid, cost: cl.CostPerConsumer})
+	}
+	for _, terms := range fa.classesAt {
+		slices.SortFunc(terms, func(a, b classTerm) int { return int(a.cid) - int(b.cid) })
 	}
 	for _, l := range ix.LinksByFlow(fid) {
 		fa.links = append(fa.links, l)
 		fa.linkCoef[l] = p.Links[l].FlowCost[fid]
 		fa.linkOwner[l] = p.Links[l].To
-		fa.linkPrice[l] = newPriceWindow(window)
-		fa.linkPrice[l].push(cfg.InitialLinkPrice)
-		peers[nodeName(p.Links[l].To)] = true
+		fa.linkPrice[l] = newPriceWindow(c.PriceWindow)
+		fa.linkPrice[l].push(c.Core.InitialLinkPrice)
+		peers[p.Links[l].To] = true
 	}
-	for name := range peers {
-		fa.peerNames = append(fa.peerNames, name)
+	for b := range peers {
+		fa.peerNodes = append(fa.peerNodes, b)
+	}
+	slices.Sort(fa.peerNodes)
+	for _, b := range fa.peerNodes {
+		fa.peerNames = append(fa.peerNames, nodeName(b))
 	}
 	fa.peerCount = len(fa.peerNames)
-	if multirateMode {
+	if c.Multirate {
 		fa.mr = multirate.NewSourceRateSolver(p, ix, fid)
 	}
 	return fa
@@ -163,10 +190,8 @@ func (fa *flowAgent) pathPrice() float64 {
 	}
 	for _, b := range fa.nodes {
 		coeff := fa.nodeCoefF[b]
-		for cid, node := range fa.classNode {
-			if node == b {
-				coeff += fa.classCost[cid] * float64(fa.consumers[cid])
-			}
+		for _, ct := range fa.classesAt[b] {
+			coeff += ct.cost * float64(fa.consumers[ct.cid])
 		}
 		price += coeff * fa.nodePrice[b].avg()
 	}
@@ -191,25 +216,25 @@ func (fa *flowAgent) absorbReport(rm reportMsg) {
 }
 
 // announce sends the flow's rate for the given round to every peer node
-// agent and the collector. Lossy-transport failures (drops, partitions)
-// are tolerated — the asynchronous mode is designed for them, and in the
-// synchronous mode the transports are lossless; only a closed transport
-// is fatal.
+// agent and the collector. The body is encoded once and the payload shared
+// across all peer messages (receivers treat payloads as read-only).
+// Lossy-transport failures (drops, partitions) are tolerated — the
+// asynchronous mode is designed for them, and in the synchronous mode the
+// transports are lossless; only a closed transport is fatal.
 func (fa *flowAgent) announce(round int, rate float64, active bool) error {
 	body := rateMsg{Round: round, Flow: fa.flow, Rate: rate, Active: active}
+	payload, err := encodeBody(fa.wire, nil, body)
+	if err != nil {
+		return err
+	}
+	from := fa.ep.Name()
 	for _, peer := range fa.peerNames {
-		msg, err := transport.Encode(fa.ep.Name(), peer, rateKind, body)
-		if err != nil {
-			return err
-		}
+		msg := transport.Message{From: from, To: peer, Kind: rateKind, Payload: payload}
 		if err := fa.ep.Send(msg); errors.Is(err, transport.ErrClosed) {
 			return fmt.Errorf("dist: flow %d announce to %s: %w", fa.flow, peer, err)
 		}
 	}
-	msg, err := transport.Encode(fa.ep.Name(), collectorName, rateKind, body)
-	if err != nil {
-		return err
-	}
+	msg := transport.Message{From: from, To: collectorName, Kind: rateKind, Payload: payload}
 	if err := fa.ep.Send(msg); errors.Is(err, transport.ErrClosed) {
 		return err
 	}
@@ -235,15 +260,25 @@ func (fa *flowAgent) runSync() {
 		}
 
 		// Pause until allowed to run this round, or idle until Join.
+		// Reports arriving here are still recorded: a node that computed
+		// our next round before seeing our (re)announce has already sent
+		// its report, and dropping the record would stall the barrier
+		// below.
 		for fa.runUntil < fa.round || fa.idle {
-			if !fa.handleOne(nil) {
+			if !fa.handleOne(reportsSeen) {
 				return
 			}
 			if fa.idle {
 				// Track the cluster's round counter passively so a later
-				// Join resumes at the right round.
+				// Join resumes at the right round, and drop report records
+				// for rounds this agent sat out.
 				if fa.round <= fa.runUntil {
 					fa.round = fa.runUntil + 1
+					for r := range reportsSeen {
+						if r < fa.round {
+							delete(reportsSeen, r)
+						}
+					}
 				}
 				continue
 			}
@@ -271,17 +306,106 @@ func (fa *flowAgent) runSync() {
 	}
 }
 
-// handleOne processes a single inbound message, returning false on
-// shutdown. When seen is non-nil, node reports are tallied per round.
-func (fa *flowAgent) handleOne(seen map[int]map[model.NodeID]bool) bool {
-	m, ok := <-fa.ep.Recv()
-	if !ok {
-		return false
+// runStale is the bounded-staleness round loop: the agent announces round
+// t as soon as every peer's freshest report is at most `staleness` rounds
+// behind (round t-1 exactly when staleness is 0 — which reduces to the
+// barrier-synchronous schedule), instead of waiting for the full round
+// t-1 report set. Reports are absorbed with a strictly-newer guard so
+// duplicate resends cannot skew the Section 3.5 price averages, and a
+// resend timer re-announces the latest rate while stalled so dropped
+// frames cannot deadlock the cluster.
+func (fa *flowAgent) runStale() {
+	defer close(fa.done)
+	reportRound := make(map[model.NodeID]int, len(fa.peerNodes))
+	lastRound, lastRate := 0, 0.0
+	backoff := fa.resend
+	timer, timerC := newResendTimer(fa.resend)
+	defer stopResendTimer(timer)
+
+	for {
+		// Announce every round currently permitted by the staleness bound.
+		announced := false
+		for !fa.idle && fa.round <= fa.runUntil && fa.canAnnounce(reportRound) {
+			rate := fa.computeRate()
+			if err := fa.announce(fa.round, rate, true); err != nil {
+				return
+			}
+			lastRound, lastRate = fa.round, rate
+			fa.round++
+			announced = true
+		}
+		if announced && timer != nil {
+			// Progress: push the resend deadline out so chirps fire only
+			// after a genuine stall, not on a periodic schedule (a periodic
+			// chirp from every agent of a large cluster is a message storm).
+			backoff = fa.resend
+			timer.Reset(backoff)
+		}
+		if fa.leaving {
+			fa.leaving = false
+			if !fa.idle {
+				_ = fa.announce(fa.round, 0, false)
+				fa.idle = true
+			}
+		}
+		if fa.idle && fa.round <= fa.runUntil {
+			fa.round = fa.runUntil + 1
+		}
+
+		select {
+		case m, ok := <-fa.ep.Recv():
+			if !ok {
+				return
+			}
+			if !fa.handleStale(m, reportRound) {
+				return
+			}
+		case <-timerC:
+			// Stalled: re-announce the freshest rate so peers (and the
+			// collector) that lost the original frame can catch up. Repeated
+			// stalls back off exponentially — when the whole cluster is slow
+			// (not lossy), fixed-period chirps from every agent feed back
+			// into the slowness.
+			if lastRound > 0 && !fa.idle {
+				if err := fa.announce(lastRound, lastRate, true); err != nil {
+					return
+				}
+			}
+			if backoff < 16*fa.resend {
+				backoff *= 2
+			}
+			timer.Reset(backoff)
+		}
 	}
+}
+
+// canAnnounce reports whether the staleness bound permits announcing
+// fa.round: every peer node's freshest absorbed report must be no older
+// than round-1-staleness. Round 1 is unconditional (there is nothing to
+// be stale against).
+func (fa *flowAgent) canAnnounce(reportRound map[model.NodeID]int) bool {
+	if fa.round == 1 {
+		return true
+	}
+	need := fa.round - 1 - fa.staleness
+	if need < 1 {
+		need = 1
+	}
+	for _, b := range fa.peerNodes {
+		if reportRound[b] < need {
+			return false
+		}
+	}
+	return true
+}
+
+// handleStale processes one inbound message for the bounded-staleness
+// loop, returning false on shutdown.
+func (fa *flowAgent) handleStale(m transport.Message, reportRound map[model.NodeID]int) bool {
 	switch m.Kind {
 	case ctrlKind:
-		var cm ctrlMsg
-		if err := transport.Decode(m, &cm); err != nil {
+		cm, err := decodeCtrl(m)
+		if err != nil {
 			return true
 		}
 		if cm.Stop {
@@ -300,8 +424,51 @@ func (fa *flowAgent) handleOne(seen map[int]map[model.NodeID]bool) bool {
 			fa.runUntil = cm.RunUntil
 		}
 	case reportKind:
-		var rm reportMsg
-		if err := transport.Decode(m, &rm); err != nil {
+		rm, err := decodeReport(m)
+		if err != nil {
+			return true
+		}
+		// Strictly-newer guard: resent duplicates and out-of-order
+		// stragglers must not push into the price windows twice.
+		if rm.Round > reportRound[rm.Node] {
+			reportRound[rm.Node] = rm.Round
+			fa.absorbReport(rm)
+		}
+	}
+	return true
+}
+
+// handleOne processes a single inbound message, returning false on
+// shutdown. When seen is non-nil, node reports are tallied per round.
+func (fa *flowAgent) handleOne(seen map[int]map[model.NodeID]bool) bool {
+	m, ok := <-fa.ep.Recv()
+	if !ok {
+		return false
+	}
+	switch m.Kind {
+	case ctrlKind:
+		cm, err := decodeCtrl(m)
+		if err != nil {
+			return true
+		}
+		if cm.Stop {
+			return false
+		}
+		if cm.Leave && !fa.idle {
+			fa.leaving = true
+		}
+		if cm.Join && fa.idle {
+			fa.idle = false
+			if fa.round <= fa.runUntil {
+				fa.round = fa.runUntil + 1
+			}
+		}
+		if cm.RunUntil > fa.runUntil {
+			fa.runUntil = cm.RunUntil
+		}
+	case reportKind:
+		rm, err := decodeReport(m)
+		if err != nil {
 			return true
 		}
 		fa.absorbReport(rm)
@@ -329,8 +496,8 @@ func (fa *flowAgent) runAsync() {
 			}
 			switch m.Kind {
 			case ctrlKind:
-				var cm ctrlMsg
-				if err := transport.Decode(m, &cm); err != nil {
+				cm, err := decodeCtrl(m)
+				if err != nil {
 					continue
 				}
 				if cm.Stop {
@@ -344,8 +511,8 @@ func (fa *flowAgent) runAsync() {
 					fa.idle = false
 				}
 			case reportKind:
-				var rm reportMsg
-				if err := transport.Decode(m, &rm); err != nil {
+				rm, err := decodeReport(m)
+				if err != nil {
 					continue
 				}
 				fa.absorbReport(rm)
@@ -359,5 +526,21 @@ func (fa *flowAgent) runAsync() {
 			}
 			fa.round++
 		}
+	}
+}
+
+// newResendTimer returns a timer (and its channel) firing after d, or a
+// nil channel that never fires when resends are disabled (d <= 0).
+func newResendTimer(d time.Duration) (*time.Timer, <-chan time.Time) {
+	if d <= 0 {
+		return nil, nil
+	}
+	t := time.NewTimer(d)
+	return t, t.C
+}
+
+func stopResendTimer(t *time.Timer) {
+	if t != nil {
+		t.Stop()
 	}
 }

@@ -16,7 +16,12 @@
 package dist
 
 import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
 	"repro/internal/model"
+	"repro/internal/transport"
 )
 
 // Endpoint naming scheme.
@@ -25,7 +30,14 @@ const (
 	ctrlKind      = "ctrl"
 	rateKind      = "rate"
 	reportKind    = "report"
+	// batchKind tags a frame whose payload is a batch of whole messages
+	// (see gateway.go); receivers demux and handle each inner message.
+	batchKind = "batch"
 )
+
+func hostName(k int) string {
+	return "host/" + itoa(k)
+}
 
 func flowName(i model.FlowID) string {
 	return "flow/" + itoa(int(i))
@@ -101,4 +113,190 @@ type ctrlMsg struct {
 	Join bool `json:"join,omitempty"`
 	// Stop tells any agent to exit immediately.
 	Stop bool `json:"stop,omitempty"`
+}
+
+// Binary payload encoding. Every dist payload has a compact binary layout
+// alongside its JSON one; the first payload byte distinguishes them ('{'
+// opens JSON, a type tag below opens binary), so mixed-wire clusters
+// interoperate. Layouts use uvarints for ids/rounds/counts and fixed
+// 8-byte floats (transport.AppendFloat64).
+const (
+	rateTag   = 0x01
+	reportTag = 0x02
+	ctrlTag   = 0x03
+)
+
+// encodeBody encodes a dist payload in the given wire format. The binary
+// path is pure appends: callers passing a reusable buffer get a 0 alloc/op
+// steady state.
+func encodeBody(wire transport.Wire, buf []byte, v any) ([]byte, error) {
+	if wire == transport.WireBinary {
+		switch b := v.(type) {
+		case rateMsg:
+			return b.appendBinary(buf), nil
+		case reportMsg:
+			return b.appendBinary(buf), nil
+		case ctrlMsg:
+			return b.appendBinary(buf), nil
+		}
+		// Fall through for types without a binary layout.
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("dist: encode: %w", err)
+	}
+	return append(buf, data...), nil
+}
+
+func (rm rateMsg) appendBinary(dst []byte) []byte {
+	dst = append(dst, rateTag)
+	dst = binary.AppendUvarint(dst, uint64(rm.Round))
+	dst = binary.AppendUvarint(dst, uint64(rm.Flow))
+	dst = transport.AppendFloat64(dst, rm.Rate)
+	if rm.Active {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func decodeRate(m transport.Message) (rateMsg, error) {
+	var rm rateMsg
+	if len(m.Payload) > 0 && m.Payload[0] == '{' {
+		return rm, transport.Decode(m, &rm)
+	}
+	c := transport.Cursor{Data: m.Payload}
+	if tag := c.Byte(); tag != rateTag && c.Err() == nil {
+		return rm, fmt.Errorf("%w: rate tag 0x%02x", transport.ErrCorruptFrame, tag)
+	}
+	rm.Round = c.Int()
+	rm.Flow = model.FlowID(c.Int())
+	rm.Rate = c.Float64()
+	rm.Active = c.Byte() != 0
+	if err := c.Err(); err != nil {
+		return rateMsg{}, err
+	}
+	if c.Rest() != 0 {
+		return rateMsg{}, fmt.Errorf("%w: %d trailing bytes after rate", transport.ErrCorruptFrame, c.Rest())
+	}
+	return rm, nil
+}
+
+func (rm reportMsg) appendBinary(dst []byte) []byte {
+	dst = append(dst, reportTag)
+	dst = binary.AppendUvarint(dst, uint64(rm.Round))
+	dst = binary.AppendUvarint(dst, uint64(rm.Node))
+	dst = transport.AppendFloat64(dst, rm.Price)
+	dst = transport.AppendFloat64(dst, rm.Used)
+	dst = transport.AppendFloat64(dst, rm.BestBC)
+	dst = binary.AppendUvarint(dst, uint64(len(rm.Populations)))
+	for cid, n := range rm.Populations {
+		dst = binary.AppendUvarint(dst, uint64(cid))
+		dst = binary.AppendUvarint(dst, uint64(n))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(rm.Deliveries)))
+	for cid, d := range rm.Deliveries {
+		dst = binary.AppendUvarint(dst, uint64(cid))
+		dst = transport.AppendFloat64(dst, d)
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(rm.LinkPrices)))
+	for lid, pr := range rm.LinkPrices {
+		dst = binary.AppendUvarint(dst, uint64(lid))
+		dst = transport.AppendFloat64(dst, pr)
+	}
+	return dst
+}
+
+func decodeReport(m transport.Message) (reportMsg, error) {
+	var rm reportMsg
+	if len(m.Payload) > 0 && m.Payload[0] == '{' {
+		return rm, transport.Decode(m, &rm)
+	}
+	c := transport.Cursor{Data: m.Payload}
+	if tag := c.Byte(); tag != reportTag && c.Err() == nil {
+		return rm, fmt.Errorf("%w: report tag 0x%02x", transport.ErrCorruptFrame, tag)
+	}
+	rm.Round = c.Int()
+	rm.Node = model.NodeID(c.Int())
+	rm.Price = c.Float64()
+	rm.Used = c.Float64()
+	rm.BestBC = c.Float64()
+	// Count-0 sections decode to nil maps, matching JSON omitempty
+	// round-trip semantics. Counts are bounded by the remaining payload
+	// size (each entry is at least 2 bytes) before allocating.
+	if n := c.Int(); n > 0 && c.Err() == nil {
+		if n > c.Rest()/2 {
+			return reportMsg{}, fmt.Errorf("%w: population count %d", transport.ErrCorruptFrame, n)
+		}
+		rm.Populations = make(map[model.ClassID]int, n)
+		for k := 0; k < n && c.Err() == nil; k++ {
+			cid := model.ClassID(c.Int())
+			rm.Populations[cid] = c.Int()
+		}
+	}
+	if n := c.Int(); n > 0 && c.Err() == nil {
+		if n > c.Rest()/2 {
+			return reportMsg{}, fmt.Errorf("%w: delivery count %d", transport.ErrCorruptFrame, n)
+		}
+		rm.Deliveries = make(map[model.ClassID]float64, n)
+		for k := 0; k < n && c.Err() == nil; k++ {
+			cid := model.ClassID(c.Int())
+			rm.Deliveries[cid] = c.Float64()
+		}
+	}
+	if n := c.Int(); n > 0 && c.Err() == nil {
+		if n > c.Rest()/2 {
+			return reportMsg{}, fmt.Errorf("%w: link price count %d", transport.ErrCorruptFrame, n)
+		}
+		rm.LinkPrices = make(map[model.LinkID]float64, n)
+		for k := 0; k < n && c.Err() == nil; k++ {
+			lid := model.LinkID(c.Int())
+			rm.LinkPrices[lid] = c.Float64()
+		}
+	}
+	if err := c.Err(); err != nil {
+		return reportMsg{}, err
+	}
+	if c.Rest() != 0 {
+		return reportMsg{}, fmt.Errorf("%w: %d trailing bytes after report", transport.ErrCorruptFrame, c.Rest())
+	}
+	return rm, nil
+}
+
+func (cm ctrlMsg) appendBinary(dst []byte) []byte {
+	dst = append(dst, ctrlTag)
+	dst = binary.AppendUvarint(dst, uint64(cm.RunUntil))
+	var flags byte
+	if cm.Leave {
+		flags |= 1
+	}
+	if cm.Join {
+		flags |= 2
+	}
+	if cm.Stop {
+		flags |= 4
+	}
+	return append(dst, flags)
+}
+
+func decodeCtrl(m transport.Message) (ctrlMsg, error) {
+	var cm ctrlMsg
+	if len(m.Payload) > 0 && m.Payload[0] == '{' {
+		return cm, transport.Decode(m, &cm)
+	}
+	c := transport.Cursor{Data: m.Payload}
+	if tag := c.Byte(); tag != ctrlTag && c.Err() == nil {
+		return cm, fmt.Errorf("%w: ctrl tag 0x%02x", transport.ErrCorruptFrame, tag)
+	}
+	cm.RunUntil = c.Int()
+	flags := c.Byte()
+	cm.Leave = flags&1 != 0
+	cm.Join = flags&2 != 0
+	cm.Stop = flags&4 != 0
+	if err := c.Err(); err != nil {
+		return ctrlMsg{}, err
+	}
+	if c.Rest() != 0 {
+		return ctrlMsg{}, fmt.Errorf("%w: %d trailing bytes after ctrl", transport.ErrCorruptFrame, c.Rest())
+	}
+	return cm, nil
 }

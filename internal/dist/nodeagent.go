@@ -47,11 +47,15 @@ type nodeAgent struct {
 	linkPrices map[model.LinkID]float64
 	inactive   map[model.FlowID]bool
 	tickEvery  time.Duration
+	wire       transport.Wire
+	staleness  int           // bounded-staleness window (runStale only)
+	resend     time.Duration // re-broadcast interval when stalled (runStale)
 
 	done chan struct{}
 }
 
-func newNodeAgent(p *model.Problem, ix *model.Index, b model.NodeID, ep transport.Endpoint, cfg core.Config, tick time.Duration, multirateMode bool) *nodeAgent {
+func newNodeAgent(p *model.Problem, ix *model.Index, b model.NodeID, ep transport.Endpoint, c Config) *nodeAgent {
+	cfg := c.Core
 	na := &nodeAgent{
 		p:          p,
 		node:       b,
@@ -68,7 +72,10 @@ func newNodeAgent(p *model.Problem, ix *model.Index, b model.NodeID, ep transpor
 		price:      cfg.InitialNodePrice,
 		linkPrices: make(map[model.LinkID]float64),
 		inactive:   make(map[model.FlowID]bool),
-		tickEvery:  tick,
+		tickEvery:  c.Tick,
+		wire:       c.Wire,
+		staleness:  c.Staleness,
+		resend:     c.Resend,
 		done:       make(chan struct{}),
 	}
 	for _, i := range ix.FlowsByNode(b) {
@@ -88,7 +95,7 @@ func newNodeAgent(p *model.Problem, ix *model.Index, b model.NodeID, ep transpor
 			na.peers[i] = flowName(i)
 		}
 	}
-	if multirateMode {
+	if c.Multirate {
 		na.mrAlloc = multirate.NewNodeAllocator(p, ix, b)
 		na.deliveries = make([]float64, len(p.Classes))
 	}
@@ -152,25 +159,29 @@ func (na *nodeAgent) compute(round int) reportMsg {
 }
 
 // broadcast sends a report to every (still expected) flow agent and the
-// collector. As in flowAgent.announce, only a closed transport is fatal;
-// lossy-delivery failures are tolerated.
+// collector. The body is encoded once and the payload shared across all
+// peer messages (receivers treat payloads as read-only). As in
+// flowAgent.announce, only a closed transport is fatal; lossy-delivery
+// failures are tolerated.
 func (na *nodeAgent) broadcast(rm reportMsg) error {
-	for i, peer := range na.peers {
-		if na.inactive[i] {
-			continue
-		}
-		msg, err := transport.Encode(na.ep.Name(), peer, reportKind, rm)
-		if err != nil {
-			return err
-		}
+	payload, err := encodeBody(na.wire, nil, rm)
+	if err != nil {
+		return err
+	}
+	from := na.ep.Name()
+	// Inactive flows are reported to as well: a rejoining flow's first
+	// announce can race this node's round computation (the node learns of
+	// the rejoin only from that announce), and if it loses the race the
+	// flow still needs this round's report to pass its barrier — skipping
+	// inactive peers deadlocked exactly that interleaving. Idle agents
+	// drain their inbox, so the extra frames are harmless.
+	for _, peer := range na.peers {
+		msg := transport.Message{From: from, To: peer, Kind: reportKind, Payload: payload}
 		if err := na.ep.Send(msg); errors.Is(err, transport.ErrClosed) {
 			return fmt.Errorf("dist: node %d report to %s: %w", na.node, peer, err)
 		}
 	}
-	msg, err := transport.Encode(na.ep.Name(), collectorName, reportKind, rm)
-	if err != nil {
-		return err
-	}
+	msg := transport.Message{From: from, To: collectorName, Kind: reportKind, Payload: payload}
 	if err := na.ep.Send(msg); errors.Is(err, transport.ErrClosed) {
 		return err
 	}
@@ -222,16 +233,16 @@ func (na *nodeAgent) runSync() {
 		}
 		switch m.Kind {
 		case ctrlKind:
-			var cm ctrlMsg
-			if err := transport.Decode(m, &cm); err != nil {
+			cm, err := decodeCtrl(m)
+			if err != nil {
 				continue
 			}
 			if cm.Stop {
 				return
 			}
 		case rateKind:
-			var rm rateMsg
-			if err := transport.Decode(m, &rm); err != nil {
+			rm, err := decodeRate(m)
+			if err != nil {
 				continue
 			}
 			if !na.expected[rm.Flow] {
@@ -278,6 +289,120 @@ func (na *nodeAgent) runSync() {
 	}
 }
 
+// runStale is the bounded-staleness round loop: the node computes round t
+// as soon as (a) at least one flow has actually announced round t and (b)
+// every active expected flow's freshest rate is at most `staleness` rounds
+// behind t, using the latest absorbed rate for each flow. With staleness 0
+// this reduces exactly to the barrier schedule (every flow must have
+// announced round t, and its latest rate then is its round-t rate). A
+// resend timer re-broadcasts the latest report while idle so dropped
+// report frames cannot deadlock flows or starve the collector.
+func (na *nodeAgent) runStale() {
+	defer close(na.done)
+	latest := make(map[model.FlowID]int, len(na.expected)) // freshest announced round per flow
+	nextRound := 1
+	var lastReport reportMsg
+	haveReport := false
+	backoff := na.resend
+	timer, timerC := newResendTimer(na.resend)
+	defer stopResendTimer(timer)
+
+	for {
+		select {
+		case m, ok := <-na.ep.Recv():
+			if !ok {
+				return
+			}
+			switch m.Kind {
+			case ctrlKind:
+				cm, err := decodeCtrl(m)
+				if err != nil {
+					continue
+				}
+				if cm.Stop {
+					return
+				}
+			case rateKind:
+				rm, err := decodeRate(m)
+				if err != nil || !na.expected[rm.Flow] {
+					continue
+				}
+				if !rm.Active {
+					if !na.inactive[rm.Flow] {
+						na.markInactive(rm.Flow)
+					}
+				} else {
+					if na.inactive[rm.Flow] {
+						na.markActive(rm.Flow)
+					}
+					// Monotonic guard: a resent or reordered older rate
+					// must not overwrite a fresher one.
+					if rm.Round >= latest[rm.Flow] {
+						latest[rm.Flow] = rm.Round
+						na.rates[rm.Flow] = rm.Rate
+					}
+				}
+			}
+		case <-timerC:
+			// Chirp with exponential backoff; see flowAgent.runStale.
+			if haveReport {
+				if err := na.broadcast(lastReport); err != nil {
+					return
+				}
+			}
+			if backoff < 16*na.resend {
+				backoff *= 2
+			}
+			timer.Reset(backoff)
+			continue
+		}
+
+		// Price updates are sequential state, so rounds are computed in
+		// order; the staleness bound only relaxes which inputs each one
+		// needs.
+		computed := false
+		for na.canComputeStale(nextRound, latest) {
+			lastReport = na.compute(nextRound)
+			haveReport = true
+			if err := na.broadcast(lastReport); err != nil {
+				return
+			}
+			nextRound++
+			computed = true
+		}
+		if computed && timer != nil {
+			// Progress: defer the re-broadcast so it fires only after a
+			// genuine stall (see flowAgent.runStale).
+			backoff = na.resend
+			timer.Reset(backoff)
+		}
+	}
+}
+
+// canComputeStale reports whether round t's inputs satisfy the staleness
+// bound: some active flow has reached round t, and no active flow is more
+// than `staleness` rounds behind it.
+func (na *nodeAgent) canComputeStale(t int, latest map[model.FlowID]int) bool {
+	need := t - na.staleness
+	if need < 1 {
+		need = 1
+	}
+	reached := false
+	for i := range na.expected {
+		if na.inactive[i] {
+			continue
+		}
+		r := latest[i]
+		if r < need {
+			return false
+		}
+		if r >= t {
+			reached = true
+		}
+	}
+	return reached
+}
+
 // runAsync recomputes on a timer from the latest rates.
 func (na *nodeAgent) runAsync() {
 	defer close(na.done)
@@ -292,16 +417,16 @@ func (na *nodeAgent) runAsync() {
 			}
 			switch m.Kind {
 			case ctrlKind:
-				var cm ctrlMsg
-				if err := transport.Decode(m, &cm); err != nil {
+				cm, err := decodeCtrl(m)
+				if err != nil {
 					continue
 				}
 				if cm.Stop {
 					return
 				}
 			case rateKind:
-				var rm rateMsg
-				if err := transport.Decode(m, &rm); err != nil {
+				rm, err := decodeRate(m)
+				if err != nil {
 					continue
 				}
 				if !na.expected[rm.Flow] {

@@ -112,3 +112,45 @@ func TestOverheadExperiment(t *testing.T) {
 		t.Error("empty render")
 	}
 }
+
+func TestDistRuntimeExperiment(t *testing.T) {
+	rows, err := DistRuntimeExperiment(quick(), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
+	}
+	byConfig := make(map[string]RuntimeRow, len(rows))
+	for _, r := range rows {
+		if r.BytesPerRound <= 0 || r.FramesPerRound <= 0 {
+			t.Errorf("%s: empty meters (%.1f frames, %.0f bytes)", r.Config, r.FramesPerRound, r.BytesPerRound)
+		}
+		if r.Utility <= 0 {
+			t.Errorf("%s: utility = %g", r.Config, r.Utility)
+		}
+		byConfig[r.Config] = r
+	}
+	// The headline claims of the runtime rebuild, measured not asserted by
+	// construction: binary >= 3x fewer bytes/round, batching >= 5x fewer
+	// frames/round.
+	if j, b := byConfig["json"], byConfig["binary"]; j.BytesPerRound < 3*b.BytesPerRound {
+		t.Errorf("binary saves only %.2fx bytes/round (json %.0f, binary %.0f)",
+			j.BytesPerRound/b.BytesPerRound, j.BytesPerRound, b.BytesPerRound)
+	}
+	if b, bb := byConfig["binary"], byConfig["binary+batch"]; b.FramesPerRound < 5*bb.FramesPerRound {
+		t.Errorf("batching saves only %.2fx frames/round (plain %.1f, batched %.1f)",
+			b.FramesPerRound/bb.FramesPerRound, b.FramesPerRound, bb.FramesPerRound)
+	}
+	for _, label := range []string{"json", "binary", "binary+batch"} {
+		if byConfig[label].RoundsToConverge == 0 {
+			t.Errorf("%s: never reached the 1%% band", label)
+		}
+	}
+
+	var buf bytes.Buffer
+	RenderDistRuntime(rows).Render(&buf)
+	if buf.Len() == 0 {
+		t.Error("empty render")
+	}
+}

@@ -75,6 +75,122 @@ func OverheadExperiment(opts Options, rounds int) ([]OverheadRow, error) {
 	return out, nil
 }
 
+// RuntimeRow records one dist-runtime configuration of the X5 extension:
+// the same workload optimized under a wire format / batching / staleness
+// combination, with its communication cost and convergence speed.
+type RuntimeRow struct {
+	Config string // human label, e.g. "binary+batch K=2"
+	// Wire, Batch and Staleness echo the dist.Config knobs.
+	Wire      string
+	Batch     bool
+	Staleness int
+	// FramesPerRound counts transport frames (after batching), while
+	// BytesPerRound counts payload bytes on the wire.
+	FramesPerRound float64
+	BytesPerRound  float64
+	// RoundsToConverge is the first finalized round whose utility is
+	// within 1% of the synchronous engine's converged utility (0 when the
+	// run never entered the band).
+	RoundsToConverge int
+	Utility          float64
+}
+
+// DistRuntimeExperiment (X5 extension) fixes one mid-size workload (102
+// flows x 102 nodes) and sweeps the distributed runtime's throughput
+// knobs: JSON vs binary wire, per-host batching, and bounded staleness K.
+// It reports frames/round and bytes/round (the costs the binary codec and
+// batching attack) and rounds-to-converge (the cost staleness pays, or
+// does not, for overlapping rounds).
+func DistRuntimeExperiment(opts Options, rounds int) ([]RuntimeRow, error) {
+	o := opts.normalized()
+	if rounds <= 0 {
+		rounds = o.Iterations / 2
+		if rounds < 60 {
+			rounds = 60
+		}
+	}
+	p := workload.Scaled(workload.Config{FlowCopies: 17, NodeSetCopies: 2})
+
+	ref, err := core.NewEngine(p.Clone(), core.Config{Adaptive: true})
+	if err != nil {
+		return nil, err
+	}
+	want := ref.Solve(2 * rounds).Utility
+
+	configs := []struct {
+		label string
+		cfg   dist.Config
+	}{
+		{"json", dist.Config{}},
+		{"binary", dist.Config{Wire: transport.WireBinary}},
+		{"binary+batch", dist.Config{Wire: transport.WireBinary, Batch: true, Hosts: 12}},
+		{"binary+batch K=1", dist.Config{Wire: transport.WireBinary, Batch: true, Hosts: 12, Staleness: 1}},
+		{"binary+batch K=2", dist.Config{Wire: transport.WireBinary, Batch: true, Hosts: 12, Staleness: 2}},
+		{"binary+batch K=4", dist.Config{Wire: transport.WireBinary, Batch: true, Hosts: 12, Staleness: 4}},
+	}
+
+	var out []RuntimeRow
+	for _, c := range configs {
+		cfg := c.cfg
+		cfg.Core = core.Config{Adaptive: true}
+		net := transport.NewMemory()
+		cl, err := dist.New(p, cfg, net)
+		if err != nil {
+			net.Close()
+			return nil, err
+		}
+		stats, err := cl.Run(rounds, 2*time.Minute)
+		if err != nil {
+			cl.Close()
+			net.Close()
+			return nil, err
+		}
+		m := net.NetStats()
+		if err := cl.Close(); err != nil {
+			net.Close()
+			return nil, err
+		}
+		net.Close()
+
+		converged := 0
+		for _, s := range stats {
+			if rel := (s.Utility - want) / want; rel > -0.01 && rel < 0.01 {
+				converged = s.Round
+				break
+			}
+		}
+		out = append(out, RuntimeRow{
+			Config:           c.label,
+			Wire:             cfg.Wire.String(),
+			Batch:            cfg.Batch,
+			Staleness:        cfg.Staleness,
+			FramesPerRound:   float64(m.Delivered) / float64(rounds),
+			BytesPerRound:    float64(m.Bytes) / float64(rounds),
+			RoundsToConverge: converged,
+			Utility:          stats[len(stats)-1].Utility,
+		})
+	}
+	return out, nil
+}
+
+// RenderDistRuntime renders the X5 extension rows.
+func RenderDistRuntime(rows []RuntimeRow) *trace.Table {
+	t := trace.NewTable("X5b: dist runtime — wire format, batching, staleness (102f x 102n)",
+		"Config", "Frames/round", "Bytes/round", "Rounds to 1%", "Utility")
+	for _, r := range rows {
+		conv := "-"
+		if r.RoundsToConverge > 0 {
+			conv = fmt.Sprint(r.RoundsToConverge)
+		}
+		t.Add(r.Config,
+			fmt.Sprintf("%.1f", r.FramesPerRound),
+			fmt.Sprintf("%.0f", r.BytesPerRound),
+			conv,
+			fmt.Sprintf("%.0f", r.Utility))
+	}
+	return t
+}
+
 // RenderOverhead renders X5 rows.
 func RenderOverhead(rows []OverheadRow) *trace.Table {
 	t := trace.NewTable("X5: communication overhead of distributed LRGP",

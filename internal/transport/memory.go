@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 )
 
 // memoryBuffer is the per-endpoint inbound queue size. Deliveries beyond a
@@ -21,6 +22,14 @@ type Memory struct {
 
 	dropRate float64
 	rng      *rand.Rand
+	// dropExempt names sender endpoints whose messages bypass drop
+	// injection (partitions still apply), so tests can inject data-plane
+	// loss without severing the control plane.
+	dropExempt map[string]bool
+	// delay postpones every delivery by a fixed latency. Drop and
+	// partition decisions are made at send time; the enqueue happens when
+	// the timer fires.
+	delay time.Duration
 	// partition maps endpoint name -> partition id; endpoints in
 	// different partitions cannot exchange messages. Empty map means no
 	// partitions.
@@ -49,6 +58,34 @@ func (m *Memory) SetDropRate(rate float64, seed int64) {
 	defer m.mu.Unlock()
 	m.dropRate = rate
 	m.rng = rand.New(rand.NewSource(seed))
+}
+
+// SetDropExempt marks the named sender endpoints as exempt from drop
+// injection: their messages always survive SetDropRate (partitions still
+// apply). Use it to keep control-plane endpoints reachable while the data
+// plane runs lossy.
+func (m *Memory) SetDropExempt(fromNames ...string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.dropExempt == nil {
+		m.dropExempt = make(map[string]bool, len(fromNames))
+	}
+	for _, n := range fromNames {
+		m.dropExempt[n] = true
+	}
+}
+
+// SetDelay postpones every subsequent delivery by d. Delayed messages
+// count toward Delivered (and Bytes) when they arrive, not when sent;
+// messages whose destination closes or fills up before the timer fires
+// count as Dropped. d <= 0 restores immediate delivery.
+func (m *Memory) SetDelay(d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if d < 0 {
+		d = 0
+	}
+	m.delay = d
 }
 
 // SetPartition assigns an endpoint to a partition. Messages only flow
@@ -107,7 +144,8 @@ func (m *Memory) deliver(msg Message) error {
 		m.mu.Unlock()
 		return ErrClosed
 	}
-	if m.dropRate > 0 && m.rng != nil && m.rng.Float64() < m.dropRate {
+	if m.dropRate > 0 && m.rng != nil && !m.dropExempt[msg.From] &&
+		m.rng.Float64() < m.dropRate {
 		m.stats.Dropped++
 		m.mu.Unlock()
 		return ErrDropped
@@ -117,23 +155,50 @@ func (m *Memory) deliver(msg Message) error {
 		m.mu.Unlock()
 		return ErrDropped
 	}
+	if d := m.delay; d > 0 {
+		// Drop and partition were decided above, at send time; the
+		// enqueue (and its stats accounting) happens when the timer
+		// fires. Late failures — destination closed or full — count as
+		// drops since the sender already saw success.
+		m.mu.Unlock()
+		time.AfterFunc(d, func() { m.enqueue(msg, true) })
+		return nil
+	}
+	err := m.enqueueLocked(msg)
+	m.mu.Unlock()
+	return err
+}
+
+// enqueue delivers under the lock; lateDropsOnly converts all failures
+// into silent Dropped accounting (used by the delay timer path, where the
+// sender is long gone).
+func (m *Memory) enqueue(msg Message, lateDropsOnly bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	if err := m.enqueueLocked(msg); err != nil && lateDropsOnly {
+		m.stats.Dropped++
+	}
+}
+
+// enqueueLocked hands msg to its destination endpoint. Callers hold m.mu;
+// enqueueing under the lock means the channel cannot be closed
+// concurrently. The buffer is large relative to a round's message count,
+// so a full buffer signals gross imbalance; surface it instead of
+// blocking with the network lock held.
+func (m *Memory) enqueueLocked(msg Message) error {
 	dst, ok := m.endpoints[msg.To]
 	if !ok || dst.closed {
-		m.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownDest, msg.To)
 	}
-	// Enqueue under the lock so the channel cannot be closed concurrently.
-	// The buffer is large relative to a round's message count, so a full
-	// buffer signals gross imbalance; surface it instead of blocking with
-	// the network lock held.
 	select {
 	case dst.in <- msg:
 		m.stats.Delivered++
 		m.stats.Bytes += uint64(len(msg.Payload))
-		m.mu.Unlock()
 		return nil
 	default:
-		m.mu.Unlock()
 		return fmt.Errorf("transport: %q inbound buffer full", msg.To)
 	}
 }

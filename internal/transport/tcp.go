@@ -8,19 +8,32 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 )
 
 // TCP is a Network whose endpoints live in (potentially) different
-// processes and exchange length-prefixed JSON frames over TCP. Each
-// endpoint runs its own listener; a shared registry maps endpoint names to
+// processes and exchange length-prefixed frames over TCP. Each endpoint
+// runs its own listener; a shared registry maps endpoint names to
 // addresses. Within one process, NewTCP gives every endpoint a listener on
 // 127.0.0.1 and fills the registry automatically; for multi-process
 // deployments, construct endpoints with ListenTCP/RegisterPeer directly.
+//
+// Two frame layouts coexist on every connection and are distinguished by
+// the first byte of the frame header:
+//
+//   - legacy: 4-byte big-endian length + JSON message body. Frames are
+//     capped at 16 MiB, so the first header byte is always 0x00.
+//   - varint: uvarint length + binary message body (see AppendMessage).
+//     A uvarint never starts with 0x00 for a non-empty frame.
+//
+// Receivers accept both unconditionally; SetWire selects what an endpoint
+// writes (WireJSON, the default, keeps the legacy layout byte-for-byte).
 type TCP struct {
 	mu        sync.Mutex
 	registry  map[string]string // endpoint name -> host:port
 	endpoints []*tcpEndpoint
 	closed    bool
+	wire      Wire
 }
 
 var _ Network = (*TCP)(nil)
@@ -28,6 +41,15 @@ var _ Network = (*TCP)(nil)
 // NewTCP returns an empty TCP network with an in-process registry.
 func NewTCP() *TCP {
 	return &TCP{registry: make(map[string]string)}
+}
+
+// SetWire sets the outbound wire format for endpoints created after this
+// call. Existing endpoints are unaffected; use the endpoint's own SetWire
+// (via the WireSelector interface) to switch one in place.
+func (t *TCP) SetWire(w Wire) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.wire = w
 }
 
 // Endpoint implements Network: it starts a listener on a loopback port and
@@ -45,6 +67,7 @@ func (t *TCP) Endpoint(name string) (Endpoint, error) {
 	if err != nil {
 		return nil, err
 	}
+	ep.SetWire(t.wire)
 	t.registry[name] = ep.listener.Addr().String()
 	t.endpoints = append(t.endpoints, ep)
 	return ep, nil
@@ -80,6 +103,7 @@ type tcpEndpoint struct {
 	name     string
 	listener net.Listener
 	resolve  func(string) (string, error)
+	wire     atomic.Uint32
 
 	in      chan Message
 	mu      sync.Mutex
@@ -89,12 +113,20 @@ type tcpEndpoint struct {
 	wg      sync.WaitGroup
 }
 
-var _ Endpoint = (*tcpEndpoint)(nil)
+var (
+	_ Endpoint     = (*tcpEndpoint)(nil)
+	_ WireSelector = (*tcpEndpoint)(nil)
+)
 
 type outConn struct {
 	conn net.Conn
 	w    *bufio.Writer
 	mu   sync.Mutex
+	// buf is the reusable frame-encode scratch for the binary wire,
+	// guarded by mu. After warm-up the encode path performs no
+	// allocations: header and body are appended here and written in one
+	// call.
+	buf []byte
 }
 
 // ListenTCP starts an endpoint listening on addr, resolving peer names
@@ -128,14 +160,27 @@ func (e *tcpEndpoint) Name() string { return e.name }
 // Addr returns the listener address (useful for registries).
 func (e *tcpEndpoint) Addr() string { return e.listener.Addr().String() }
 
+// SetWire implements WireSelector: it selects the outbound frame format.
+// Safe to call concurrently with Send.
+func (e *tcpEndpoint) SetWire(w Wire) { e.wire.Store(uint32(w)) }
+
 // Send implements Endpoint: it lazily dials the destination, caches the
-// connection, and writes one frame.
+// connection, and writes one frame in the endpoint's wire format.
 func (e *tcpEndpoint) Send(msg Message) error {
 	msg.From = e.name
 	c, err := e.connTo(msg.To)
 	if err != nil {
 		return err
 	}
+	if Wire(e.wire.Load()) == WireBinary {
+		return e.sendBinary(c, &msg)
+	}
+	return e.sendJSON(c, &msg)
+}
+
+// sendJSON writes the legacy frame layout: 4-byte big-endian length +
+// JSON body. Byte-for-byte identical to the pre-binary transport.
+func (e *tcpEndpoint) sendJSON(c *outConn, msg *Message) error {
 	data, err := json.Marshal(msg)
 	if err != nil {
 		return fmt.Errorf("transport: marshal: %w", err)
@@ -150,6 +195,25 @@ func (e *tcpEndpoint) Send(msg Message) error {
 		return fmt.Errorf("transport: send to %q: %w", msg.To, err)
 	}
 	if _, err := c.w.Write(data); err != nil {
+		e.dropConn(msg.To)
+		return fmt.Errorf("transport: send to %q: %w", msg.To, err)
+	}
+	if err := c.w.Flush(); err != nil {
+		e.dropConn(msg.To)
+		return fmt.Errorf("transport: send to %q: %w", msg.To, err)
+	}
+	return nil
+}
+
+// sendBinary writes the varint frame layout: uvarint body length +
+// AppendMessage body, assembled in the connection's scratch buffer so the
+// steady-state encode path allocates nothing.
+func (e *tcpEndpoint) sendBinary(c *outConn, msg *Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.buf = binary.AppendUvarint(c.buf[:0], uint64(BinarySize(msg)))
+	c.buf = AppendMessage(c.buf, msg)
+	if _, err := c.w.Write(c.buf); err != nil {
 		e.dropConn(msg.To)
 		return fmt.Errorf("transport: send to %q: %w", msg.To, err)
 	}
@@ -255,6 +319,35 @@ func (e *tcpEndpoint) acceptLoop() {
 	}
 }
 
+// maxFrame bounds a single frame body. Legacy 4-byte headers therefore
+// always start with 0x00, which is how the reader tells the layouts apart.
+const maxFrame = 16 << 20
+
+// readFrameLen reads one frame header and returns the body length.
+// A leading 0x00 byte means a legacy 4-byte big-endian header; anything
+// else starts a uvarint header.
+func readFrameLen(r *bufio.Reader) (uint64, error) {
+	b0, err := r.ReadByte()
+	if err != nil {
+		return 0, err
+	}
+	if b0 == 0 {
+		var rest [3]byte
+		if _, err := io.ReadFull(r, rest[:]); err != nil {
+			return 0, err
+		}
+		return uint64(rest[0])<<16 | uint64(rest[1])<<8 | uint64(rest[2]), nil
+	}
+	if err := r.UnreadByte(); err != nil {
+		return 0, err
+	}
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
 func (e *tcpEndpoint) readLoop(conn net.Conn) {
 	defer e.wg.Done()
 	defer func() {
@@ -264,22 +357,30 @@ func (e *tcpEndpoint) readLoop(conn net.Conn) {
 		e.mu.Unlock()
 	}()
 	r := bufio.NewReader(conn)
+	var data []byte // reused across frames; decoded messages never alias it
 	for {
-		var lenbuf [4]byte
-		if _, err := io.ReadFull(r, lenbuf[:]); err != nil {
+		n, err := readFrameLen(r)
+		if err != nil {
 			return
 		}
-		n := binary.BigEndian.Uint32(lenbuf[:])
-		const maxFrame = 16 << 20
 		if n > maxFrame {
 			return // corrupt or hostile frame; drop the connection
 		}
-		data := make([]byte, n)
+		if uint64(cap(data)) < n {
+			data = make([]byte, n)
+		}
+		data = data[:n]
 		if _, err := io.ReadFull(r, data); err != nil {
 			return
 		}
 		var msg Message
-		if err := json.Unmarshal(data, &msg); err != nil {
+		if len(data) > 0 && data[0] == binaryTag {
+			m, _, err := DecodeMessage(data)
+			if err != nil {
+				continue // skip undecodable frame
+			}
+			msg = m
+		} else if err := json.Unmarshal(data, &msg); err != nil {
 			continue // skip undecodable frame
 		}
 

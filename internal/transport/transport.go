@@ -2,8 +2,10 @@
 // LRGP runtime (package dist) and the event broker (package broker).
 //
 // Two implementations share one interface: an in-memory hub with
-// deterministic delivery and optional fault injection (drops, partitions),
-// and a TCP transport with length-prefixed JSON frames. Agents address
+// deterministic delivery and optional fault injection (drops, delay,
+// partitions), and a TCP transport with length-prefixed frames in either
+// of two selectable wire formats (JSON for compatibility and debugging,
+// compact varint-framed binary for throughput — see Wire). Agents address
 // each other by endpoint name ("node/2", "flow/5", "collector"), so the
 // same agent code runs over either.
 package transport
@@ -14,15 +16,21 @@ import (
 	"fmt"
 )
 
-// Message is one addressed datagram. Payloads are pre-encoded JSON so the
-// wire format is identical across transports.
+// Message is one addressed datagram. Payloads are pre-encoded by the
+// sender (JSON or a self-describing binary layout — receivers tell them
+// apart by the first payload byte), so the bytes carried are identical
+// across transports.
+//
+// Payload is shared, not copied, on in-memory delivery and when one
+// encoded payload fans out to several peers, so receivers must treat it
+// as read-only.
 type Message struct {
 	// From and To are endpoint names.
 	From string `json:"from"`
 	To   string `json:"to"`
 	// Kind tags the payload type (e.g. "rate", "node", "link").
 	Kind string `json:"kind"`
-	// Payload is the JSON-encoded body.
+	// Payload is the encoded body. Read-only for receivers.
 	Payload json.RawMessage `json:"payload,omitempty"`
 }
 
