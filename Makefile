@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench bench-core bench-broker bench-dist bench-scaling fuzz experiments examples telemetry-smoke clean
+.PHONY: all build vet lint test race cover bench bench-core bench-broker bench-dist bench-scaling fuzz experiments examples telemetry-smoke trace-analyze clean
 
 all: build vet lint test
 
@@ -74,6 +74,12 @@ fuzz:
 # race detector, as CI does.
 telemetry-smoke:
 	bash scripts/telemetry-smoke.sh
+
+# Flight-recorder round trip: a dist lrgp-broker run with -dist-events,
+# analyzed by lrgp-trace (round timeline, stragglers, loss hotspots,
+# effective staleness).
+trace-analyze:
+	bash scripts/trace-smoke.sh
 
 # Regenerate every table and figure (see EXPERIMENTS.md).
 experiments:

@@ -15,7 +15,19 @@
 //
 //	lrgp-broker [-optimizer colocated|dist] [-transport memory|tcp]
 //	            [-rounds 120] [-workers 0] [-reopt 0] [-publish-seconds 2]
-//	            [-producers 1] [-telemetry-addr :9090]
+//	            [-producers 1] [-telemetry-addr :9090] [-trace-out run.jsonl]
+//	            [-dist-events events.jsonl] [-dist-stall-timeout 0]
+//
+// -trace-out records a JSONL iteration trace (one
+// telemetry.IterationRecord per line): the full per-iteration optimizer
+// state for colocated runs, and the per-round utility series for dist
+// runs. -dist-events dumps the distributed runtime's flight-recorder
+// event log after the run (analyze with lrgp-trace); if the cluster
+// stalls, the post-mortem dump lands in the same file.
+// -dist-stall-timeout arms the stall detector: if the collector makes
+// no progress for that long while rounds are pending, the stall is
+// counted (lrgp_dist_stalls_total) and every agent's ring is dumped to
+// the -dist-events file as a post-mortem.
 //
 // -reopt N (colocated only) follows the initial solve with N
 // re-optimization rounds: each perturbs the workload's node capacities
@@ -36,6 +48,7 @@ import (
 	"repro/internal/broker"
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
@@ -58,6 +71,9 @@ func run(args []string, out io.Writer) error {
 		distBatch     = fs.Bool("dist-batch", false, "coalesce -optimizer dist traffic into one frame per host per flush")
 		distHosts     = fs.Int("dist-hosts", 0, "simulated host count for -dist-batch gateways (0 = one per node)")
 		distStaleness = fs.Int("dist-staleness", 0, "bounded-staleness K for -optimizer dist rounds (0 = synchronous barrier)")
+		distEvents    = fs.String("dist-events", "", "write the -optimizer dist flight-recorder event log (JSONL, lrgp-trace input) to this file; a stall post-mortem lands here too")
+		distStall     = fs.Duration("dist-stall-timeout", 0, "arm the dist stall detector: count a stall and dump a post-mortem after this long without collector progress (0 disables)")
+		traceOut      = fs.String("trace-out", "", "record a JSONL iteration trace (telemetry.IterationRecord per iteration or round) to this file")
 		rounds        = fs.Int("rounds", 120, "LRGP iterations (colocated) or synchronous rounds (dist)")
 		workers       = fs.Int("workers", 0, "colocated engine Step workers (0 = GOMAXPROCS, 1 = serial)")
 		reopt         = fs.Int("reopt", 0, "warm re-optimization rounds after the initial colocated solve (perturb capacities, Engine.Reset, re-solve)")
@@ -77,12 +93,16 @@ func run(args []string, out io.Writer) error {
 	var (
 		em   *telemetry.EngineMetrics
 		bm   *telemetry.BrokerMetrics
+		dm   *telemetry.DistMetrics
 		snap atomic.Pointer[core.Snapshot]
 	)
 	if *telemetryAddr != "" {
 		reg := telemetry.NewRegistry()
 		em = telemetry.NewEngineMetrics(reg)
 		bm = telemetry.NewBrokerMetrics(reg)
+		if *optimizer == "dist" {
+			dm = telemetry.NewDistMetrics(reg)
+		}
 		mux := telemetry.NewMux(reg, func() (any, bool) {
 			s := snap.Load()
 			if s == nil {
@@ -98,6 +118,20 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "telemetry: listening on http://%s (/metrics /snapshot /debug/pprof /debug/vars)\n", srv.Addr)
 	}
 
+	// -trace-out: one JSONL IterationRecord per optimizer step. The
+	// initial colocated solve and any -reopt rounds share the file, with
+	// iteration numbers running continuously through it.
+	var tw *telemetry.TraceWriter
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tw = telemetry.NewTraceWriter(f)
+		defer tw.Flush()
+	}
+
 	var alloc model.Allocation
 	start := time.Now()
 	switch *optimizer {
@@ -107,7 +141,11 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		res := e.Solve(*rounds)
+		res, err := solveTraced(e, len(p.Classes), *rounds, tw, 0)
+		if err != nil {
+			return err
+		}
+		iterBase := res.Iterations
 		s := e.Snapshot()
 		snap.Store(&s)
 		alloc = res.Allocation
@@ -134,7 +172,11 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 			rs := time.Now()
-			res = e.Solve(*rounds)
+			res, err = solveTraced(e, len(p.Classes), *rounds, tw, iterBase)
+			if err != nil {
+				return err
+			}
+			iterBase += res.Iterations
 			s := e.Snapshot()
 			snap.Store(&s)
 			alloc = res.Allocation
@@ -164,13 +206,27 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "optimizing %s over %s transport (%d agents, %s wire, batch=%v, K=%d)...\n",
 			p.Name, *transportName, len(p.Flows)+len(p.Nodes), wire, *distBatch, *distStaleness)
-		cl, err := dist.New(p, dist.Config{
-			Core:      core.Config{Adaptive: true},
-			Wire:      wire,
-			Batch:     *distBatch,
-			Hosts:     *distHosts,
-			Staleness: *distStaleness,
-		}, net)
+		cfg := dist.Config{
+			Core:         core.Config{Adaptive: true},
+			Wire:         wire,
+			Batch:        *distBatch,
+			Hosts:        *distHosts,
+			Staleness:    *distStaleness,
+			Telemetry:    dm,
+			StallTimeout: *distStall,
+		}
+		var evFile *os.File
+		if *distEvents != "" {
+			f, err := os.Create(*distEvents)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			evFile = f
+			cfg.Record = true
+			cfg.Postmortem = f
+		}
+		cl, err := dist.New(p, cfg, net)
 		if err != nil {
 			return err
 		}
@@ -180,6 +236,27 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		alloc = cl.Allocation()
+		if tw != nil {
+			for _, s := range stats {
+				if werr := tw.Write(&telemetry.IterationRecord{Iteration: s.Round, Utility: s.Utility}); werr != nil {
+					return werr
+				}
+			}
+		}
+		// Mirror the transport's traffic counters into the lrgp_dist_net
+		// gauges so a scraper sees per-wire frame/byte attribution.
+		if dm != nil {
+			if m, ok := net.(transport.Meter); ok {
+				st := m.NetStats()
+				dm.ObserveNet(st.JSON.Frames, st.JSON.Bytes, st.Binary.Frames, st.Binary.Bytes, st.Dropped)
+			}
+		}
+		if evFile != nil {
+			if err := cl.WriteEvents(evFile); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "  flight recorder: event log written to %s\n", *distEvents)
+		}
 		fmt.Fprintf(out, "  %d rounds in %v, final utility %.0f\n",
 			len(stats), time.Since(start).Round(time.Millisecond), stats[len(stats)-1].Utility)
 	default:
@@ -299,6 +376,65 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "%-10s  %8d/%-8d   %9d\n", p.Classes[j].Name, cs.Admitted, cs.Attached, cs.Delivered)
 	}
 	return nil
+}
+
+// solveTraced mirrors Engine.Solve's loop — same convergence detector,
+// same stopping rule — while writing one IterationRecord per iteration
+// to tw, numbered from iterBase+1 so -reopt rounds continue the trace
+// file rather than restarting it. With a nil tw it is exactly Solve.
+func solveTraced(e *core.Engine, nClasses, rounds int, tw *telemetry.TraceWriter, iterBase int) (core.Result, error) {
+	if tw == nil {
+		return e.Solve(rounds), nil
+	}
+	det := metrics.NewConvergenceDetector(0, 0)
+	utilTrace := make([]float64, 0, rounds)
+	prev := make([]int, nClasses)
+	for t := 0; t < rounds; t++ {
+		r := e.Step()
+		utilTrace = append(utilTrace, r.Utility)
+		done := det.Observe(r.Utility)
+
+		alloc := e.Allocation()
+		delta := 0
+		for j, n := range alloc.Consumers {
+			if d := n - prev[j]; d >= 0 {
+				delta += d
+			} else {
+				delta -= d
+			}
+			prev[j] = n
+		}
+		rec := telemetry.IterationRecord{
+			Iteration:       iterBase + t + 1,
+			Utility:         r.Utility,
+			MaxNodeOverload: r.MaxNodeOverload,
+			MaxLinkOverload: r.MaxLinkOverload,
+			StageNanos:      r.StageNanos,
+			Rates:           alloc.Rates,
+			Consumers:       alloc.Consumers,
+			NodePrices:      e.NodePrices(),
+			LinkPrices:      e.LinkPrices(),
+			AdmissionDelta:  delta,
+			Converged:       det.Converged(),
+		}
+		if err := tw.Write(&rec); err != nil {
+			return core.Result{}, fmt.Errorf("trace record %d: %w", rec.Iteration, err)
+		}
+		if done {
+			break
+		}
+	}
+	if len(utilTrace) == 0 {
+		return core.Result{Allocation: e.Allocation()}, nil
+	}
+	return core.Result{
+		Utility:     utilTrace[len(utilTrace)-1],
+		Iterations:  len(utilTrace),
+		Converged:   det.Converged(),
+		ConvergedAt: det.ConvergedAt(),
+		Allocation:  e.Allocation(),
+		Trace:       utilTrace,
+	}, nil
 }
 
 func totalAttached(p *model.Problem) int {

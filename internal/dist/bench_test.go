@@ -105,6 +105,38 @@ func BenchmarkDistBatch(b *testing.B) {
 	})
 }
 
+// BenchmarkDistRecorder measures flight-recorder overhead on the round
+// hot path: the identical bounded-staleness cluster with rings detached
+// and attached. The delta is the cost of the per-event atomic stores
+// (acceptance: under 5%).
+func BenchmarkDistRecorder(b *testing.B) {
+	for _, on := range []bool{false, true} {
+		name := "off"
+		if on {
+			name = "on"
+		}
+		b.Run(name, func(b *testing.B) {
+			p := workload.Scaled(workload.Config{FlowCopies: 17, NodeSetCopies: 2})
+			net := transport.NewMemory()
+			defer net.Close()
+			cl, err := New(p, Config{
+				Core:      core.Config{Adaptive: true},
+				Wire:      transport.WireBinary,
+				Staleness: 1,
+				Record:    on,
+			}, net)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cl.Close()
+			b.ResetTimer()
+			if _, err := cl.Run(b.N, 5*time.Minute); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
 // BenchmarkDistStaleness measures rounds-to-converge (first finalized
 // round within 1% of the engine's converged utility) per staleness bound
 // K, alongside the usual ns/op. K=0 is the barrier schedule.

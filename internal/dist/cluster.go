@@ -3,11 +3,13 @@ package dist
 import (
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -78,6 +80,32 @@ type Config struct {
 	// runs (default DefaultResend when Staleness > 0; < 0 disables).
 	Resend time.Duration
 
+	// Telemetry, when non-nil, streams runtime metrics (round progress,
+	// staleness, chirp repairs, gateway occupancy, stalls) into the
+	// lrgp_dist_* families. All observations are atomic-only; a nil handle
+	// costs a nil check per event.
+	Telemetry *telemetry.DistMetrics
+	// Record attaches a flight recorder to every agent: a fixed-size
+	// lock-free ring of the last RecordSize events, dumpable via
+	// WriteEvents or a stall post-mortem. Implied by Postmortem or
+	// StallTimeout.
+	Record bool
+	// RecordSize is the per-agent ring capacity in events (default
+	// DefaultRecordSize, rounded up to a power of two).
+	RecordSize int
+	// StallTimeout arms the stall detector (Sync mode): if rounds are
+	// pending and the collector absorbs nothing for this long, the
+	// cluster records a stall and dumps a post-mortem. 0 disables.
+	StallTimeout time.Duration
+	// Postmortem receives one JSONL dump of every agent's ring the first
+	// time the cluster stalls (detector trip, Run timeout, or Close
+	// timeout). Implies Record.
+	Postmortem io.Writer
+	// StopGrace bounds how long Close waits for agents to acknowledge
+	// their Stop (default 5s). Under fault injection a Stop frame can be
+	// lost, making the grace period the shutdown deadline.
+	StopGrace time.Duration
+
 	// staleLoop forces the bounded-staleness agent loop even at
 	// Staleness == 0 (used by tests to prove the K=0 schedule is
 	// bit-identical to the barrier loop).
@@ -112,6 +140,12 @@ func (c Config) normalized() Config {
 	if c.FlushInterval <= 0 {
 		c.FlushInterval = DefaultFlushInterval
 	}
+	if c.Postmortem != nil || c.StallTimeout > 0 {
+		c.Record = true
+	}
+	if c.StopGrace <= 0 {
+		c.StopGrace = 5 * time.Second
+	}
 	return c
 }
 
@@ -137,6 +171,19 @@ type Cluster struct {
 	gateways []*gateway
 	route    map[string]string // agent name -> host endpoint (batch mode)
 
+	// Observability: the shared monotonic epoch every recorder stamps
+	// against (via the coarse shared clock), all rings (for snapshots),
+	// and the cluster-level ring (detector events).
+	epoch      time.Time
+	clk        *recClock
+	recs       []*recorder
+	clusterRec *recorder
+	stallQuit  chan struct{}
+	stallDone  chan struct{}
+
+	pmMu     sync.Mutex
+	pmDumped bool
+
 	mu      sync.Mutex
 	started bool
 	closed  bool
@@ -161,7 +208,17 @@ func New(p *model.Problem, cfg Config, net transport.Network) (*Cluster, error) 
 	c := cfg.normalized()
 	ix := model.NewIndex(p)
 
-	cl := &Cluster{p: p, cfg: c}
+	cl := &Cluster{p: p, cfg: c, epoch: time.Now()}
+	if c.Record {
+		cl.clk = newRecClock(cl.epoch)
+	}
+	ok := false
+	defer func() {
+		if !ok && cl.clk != nil {
+			cl.clk.stop()
+		}
+	}()
+	cl.clusterRec = cl.newRec("cluster")
 
 	collEP, err := net.Endpoint(collectorName)
 	if err != nil {
@@ -183,7 +240,7 @@ func New(p *model.Problem, cfg Config, net transport.Network) (*Cluster, error) 
 			reporting++
 		}
 	}
-	cl.coll = newCollector(p, collEP, reporting, c.Staleness == 0)
+	cl.coll = newCollector(p, collEP, reporting, c.Staleness == 0, c.Telemetry, cl.newRec(collectorName), cl.epoch)
 
 	ctrlEP, err := net.Endpoint("cluster-ctrl")
 	if err != nil {
@@ -218,14 +275,20 @@ func New(p *model.Problem, cfg Config, net transport.Network) (*Cluster, error) 
 		if err != nil {
 			return nil, fmt.Errorf("dist: flow %d endpoint: %w", i, err)
 		}
-		cl.flows = append(cl.flows, newFlowAgent(p, ix, model.FlowID(i), ep, c))
+		fa := newFlowAgent(p, ix, model.FlowID(i), ep, c)
+		fa.rec = cl.newRec(flowName(model.FlowID(i)))
+		fa.tel = c.Telemetry
+		cl.flows = append(cl.flows, fa)
 	}
 	for b := range p.Nodes {
 		ep, err := endpointFor(nodeName(model.NodeID(b)))
 		if err != nil {
 			return nil, fmt.Errorf("dist: node %d endpoint: %w", b, err)
 		}
-		cl.nodes = append(cl.nodes, newNodeAgent(p, ix, model.NodeID(b), ep, c))
+		na := newNodeAgent(p, ix, model.NodeID(b), ep, c)
+		na.rec = cl.newRec(nodeName(model.NodeID(b)))
+		na.tel = c.Telemetry
+		cl.nodes = append(cl.nodes, na)
 	}
 
 	// Launch all agents; in Sync mode flow agents idle until a RunUntil
@@ -253,8 +316,103 @@ func New(p *model.Problem, cfg Config, net transport.Network) (*Cluster, error) 
 			go na.runSync()
 		}
 	}
+	if c.StallTimeout > 0 && c.Mode == Sync {
+		cl.stallQuit = make(chan struct{})
+		cl.stallDone = make(chan struct{})
+		go cl.stallWatch()
+	}
 	cl.started = true
+	ok = true
 	return cl, nil
+}
+
+// newRec attaches one flight-recorder ring when recording is enabled and
+// registers it for snapshots. Returns nil (a no-op recorder) otherwise.
+func (cl *Cluster) newRec(name string) *recorder {
+	if !cl.cfg.Record {
+		return nil
+	}
+	r := newRecorder(name, cl.cfg.RecordSize, cl.clk)
+	cl.recs = append(cl.recs, r)
+	return r
+}
+
+// snapshot collects every ring's currently readable events.
+func (cl *Cluster) snapshot() []Event {
+	var buf []Event
+	for _, r := range cl.recs {
+		buf = r.events(buf)
+	}
+	return buf
+}
+
+// WriteEvents dumps every agent's flight-recorder ring as one merged JSONL
+// event log (the lrgp-trace input format). Requires Config.Record. Safe to
+// call while the cluster is running; in-flight writes are skipped, not
+// torn.
+func (cl *Cluster) WriteEvents(w io.Writer) error {
+	if !cl.cfg.Record {
+		return errors.New("dist: flight recording disabled (set Config.Record)")
+	}
+	return writeEvents(w, cl.snapshot())
+}
+
+// stallWatch polls the collector's progress counter and trips when rounds
+// are pending but nothing has been absorbed for StallTimeout: the
+// signature of the cluster deadlocking (lost Stop/announce frames, a hung
+// agent) rather than merely running slowly.
+func (cl *Cluster) stallWatch() {
+	defer close(cl.stallDone)
+	interval := cl.cfg.StallTimeout / 4
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	last := cl.coll.progress.Load()
+	frozen := time.Duration(0)
+	for {
+		select {
+		case <-cl.stallQuit:
+			return
+		case <-ticker.C:
+			p := cl.coll.progress.Load()
+			if p != last {
+				last = p
+				frozen = 0
+				continue
+			}
+			cl.mu.Lock()
+			pending := int(cl.coll.lastFinal.Load()) < cl.ran
+			cl.mu.Unlock()
+			if !pending {
+				frozen = 0
+				continue
+			}
+			frozen += interval
+			if frozen >= cl.cfg.StallTimeout {
+				cl.postmortem()
+				return
+			}
+		}
+	}
+}
+
+// postmortem records a stall and, once per cluster, dumps every ring to
+// the configured Postmortem writer. Reached from the stall detector, a Run
+// timeout, and a Close timeout — whichever notices first wins.
+func (cl *Cluster) postmortem() {
+	cl.pmMu.Lock()
+	defer cl.pmMu.Unlock()
+	if cl.pmDumped {
+		return
+	}
+	cl.pmDumped = true
+	cl.cfg.Telemetry.ObserveStall()
+	cl.clusterRec.record(EvStall, int(cl.coll.lastFinal.Load()), 0, 0)
+	if cl.cfg.Postmortem != nil {
+		_ = writeEvents(cl.cfg.Postmortem, cl.snapshot())
+	}
 }
 
 // buildGateways creates the host endpoints and the agent->host routing
@@ -279,7 +437,7 @@ func (cl *Cluster) buildGateways(p *model.Problem, net transport.Network, c Conf
 			return fmt.Errorf("dist: host %d endpoint: %w", k, err)
 		}
 		setWire(ep, c.Wire)
-		cl.gateways = append(cl.gateways, newGateway(ep, c.Wire, cl.route, c.Mode == Async, c.FlushInterval))
+		cl.gateways = append(cl.gateways, newGateway(ep, c.Wire, cl.route, c.Mode == Async, c.FlushInterval, c.Telemetry, cl.newRec(hostName(k))))
 	}
 	return nil
 }
@@ -342,6 +500,7 @@ func (cl *Cluster) Run(rounds int, timeout time.Duration) ([]RoundStats, error) 
 		}
 	}
 	if err := cl.coll.waitRound(until, timeout); err != nil {
+		cl.postmortem()
 		return nil, err
 	}
 	return cl.coll.rounds(from, until), nil
@@ -387,6 +546,11 @@ func (cl *Cluster) Close() error {
 	cl.closed = true
 	cl.mu.Unlock()
 
+	if cl.stallQuit != nil {
+		close(cl.stallQuit)
+		<-cl.stallDone
+	}
+
 	var errs []error
 	ctrlErr := func(err error) {
 		if err != nil && !errors.Is(err, transport.ErrDropped) {
@@ -406,7 +570,7 @@ func (cl *Cluster) Close() error {
 	// fault injection, so an agent may legitimately never stop; once the
 	// deadline fires (time.After delivers exactly once) stop waiting on
 	// the rest instead of selecting on the drained channel forever.
-	deadline := time.After(5 * time.Second)
+	deadline := time.After(cl.cfg.StopGrace)
 	timedOut := false
 	wait := func(done <-chan struct{}, what string) {
 		if timedOut {
@@ -430,8 +594,17 @@ func (cl *Cluster) Close() error {
 		}
 		wait(cl.coll.done, "collector")
 	}
+	if timedOut {
+		// An agent that never saw its Stop is the same failure shape as a
+		// mid-run stall: dump the rings while they still show what
+		// everyone was (not) doing.
+		cl.postmortem()
+	}
 	for _, gw := range cl.gateways {
 		gw.close()
+	}
+	if cl.clk != nil {
+		cl.clk.stop()
 	}
 	return errors.Join(errs...)
 }

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"slices"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/model"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -14,8 +16,17 @@ import (
 // view: per-round utilities in Sync mode, latest-state utility samples in
 // Async mode.
 type collector struct {
-	p  *model.Problem
-	ep transport.Endpoint
+	p     *model.Problem
+	ep    transport.Endpoint
+	tel   *telemetry.DistMetrics
+	rec   *recorder
+	epoch time.Time
+
+	// progress counts every absorbed message and lastFinal holds the
+	// highest finalized round; the stall detector polls both without
+	// taking mu.
+	progress  atomic.Uint64
+	lastFinal atomic.Int64
 
 	mu sync.Mutex
 	// latest state (both modes). deliveries[j] < 0 means "no per-class
@@ -37,7 +48,15 @@ type collector struct {
 	activeCount int
 	roundGot    map[int]int
 	nodesTotal  int
-	stats       []RoundStats
+	// Observability state: the frontier (freshest round seen in any
+	// message), per-agent latest rounds (for the effective-staleness
+	// scan at finalize; a node still at 0 never reports and is skipped),
+	// and each pending round's first-input timestamp.
+	frontier   int
+	latestFlow []int
+	latestNode []int
+	roundFirst map[int]int64
+	stats      []RoundStats
 	// inOrder finalizes rounds strictly sequentially (the lossless
 	// barrier protocol). When false (bounded-staleness mode over lossy
 	// transports) any fully-assembled round finalizes, and rounds whose
@@ -60,10 +79,16 @@ type roundWaiter struct {
 // node agents that actually report each round: nodes reached by at least
 // one flow or owning at least one link with flows (a node with neither
 // never computes).
-func newCollector(p *model.Problem, ep transport.Endpoint, nodesTotal int, inOrder bool) *collector {
+func newCollector(p *model.Problem, ep transport.Endpoint, nodesTotal int, inOrder bool, tel *telemetry.DistMetrics, rec *recorder, epoch time.Time) *collector {
 	c := &collector{
 		p:            p,
 		ep:           ep,
+		tel:          tel,
+		rec:          rec,
+		epoch:        epoch,
+		latestFlow:   make([]int, len(p.Flows)),
+		latestNode:   make([]int, len(p.Nodes)),
+		roundFirst:   make(map[int]int64),
 		rates:        make([]float64, len(p.Flows)),
 		consumers:    make([]int, len(p.Classes)),
 		deliveries:   make([]float64, len(p.Classes)),
@@ -136,9 +161,25 @@ func (c *collector) handle(m transport.Message) bool {
 	return true
 }
 
+// touchRoundLocked maintains the frontier, the per-flow/node latest
+// rounds, and a pending round's first-input timestamp.
+func (c *collector) touchRoundLocked(round int) {
+	if round > c.frontier {
+		c.frontier = round
+	}
+	if _, ok := c.roundFirst[round]; !ok {
+		c.roundFirst[round] = int64(time.Since(c.epoch))
+	}
+}
+
 func (c *collector) absorbRate(rm rateMsg) {
+	c.progress.Add(1)
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if rm.Round > c.latestFlow[rm.Flow] {
+		c.latestFlow[rm.Flow] = rm.Round
+	}
+	c.touchRoundLocked(rm.Round)
 	if !rm.Active {
 		if c.active[rm.Flow] {
 			c.active[rm.Flow] = false
@@ -186,8 +227,13 @@ func (c *collector) recountPendingLocked() {
 }
 
 func (c *collector) absorbReport(rm reportMsg) {
+	c.progress.Add(1)
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if rm.Round > c.latestNode[rm.Node] {
+		c.latestNode[rm.Node] = rm.Round
+	}
+	c.touchRoundLocked(rm.Round)
 	for cid, n := range rm.Populations {
 		c.consumers[cid] = n
 	}
@@ -261,6 +307,29 @@ func (c *collector) finalizeLocked(round int) bool {
 		util += float64(n) * cl.Utility.Value(rate)
 	}
 	c.stats = append(c.stats, RoundStats{Round: round, Utility: util})
+
+	// Observability: effective staleness (frontier minus the slowest
+	// active agent), finalize lag, and the round's assembly time. The
+	// O(flows+nodes) slowest-agent scan runs once per finalized round,
+	// not per message, so it stays off the absorb hot path.
+	c.lastFinal.Store(int64(round))
+	if c.tel != nil || c.rec != nil {
+		slowest := c.frontier
+		for i, r := range c.latestFlow {
+			if c.active[i] && r < slowest {
+				slowest = r
+			}
+		}
+		for _, r := range c.latestNode {
+			if r > 0 && r < slowest { // nodes at 0 never report (silent)
+				slowest = r
+			}
+		}
+		assembly := int64(time.Since(c.epoch)) - c.roundFirst[round]
+		c.tel.ObserveFinalize(c.frontier-slowest, c.frontier-round, assembly)
+		c.rec.record(EvRound, round, int64(c.frontier-slowest), assembly)
+	}
+	delete(c.roundFirst, round)
 	delete(c.roundRates, round)
 	delete(c.roundPops, round)
 	delete(c.roundDel, round)

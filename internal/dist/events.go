@@ -1,0 +1,85 @@
+package dist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"slices"
+	"strings"
+)
+
+// EventRecord is the JSONL form of one flight-recorder event, the schema
+// shared by Cluster.WriteEvents, the stall detector's post-mortem dumps,
+// and the lrgp-trace analyzer.
+type EventRecord struct {
+	// Agent is the recording agent's endpoint name ("flow/3", "node/7",
+	// "collector", "host/2", or "cluster" for detector-level events).
+	Agent string `json:"agent"`
+	// Seq is the agent-local sequence number.
+	Seq uint64 `json:"seq"`
+	// Nanos is time since the cluster's shared monotonic epoch.
+	Nanos int64 `json:"ns"`
+	// Ev is the event type name (see EventType).
+	Ev string `json:"ev"`
+	// Round is the causal correlation key (0 for round-less events).
+	Round int `json:"round"`
+	// A and B are the event's per-type arguments.
+	A int64 `json:"a,omitempty"`
+	B int64 `json:"b,omitempty"`
+}
+
+// writeEvents renders events as JSONL, sorted by timestamp (ties broken
+// by agent and sequence, so output is deterministic).
+func writeEvents(w io.Writer, events []Event) error {
+	slices.SortFunc(events, func(a, b Event) int {
+		if a.Nanos != b.Nanos {
+			if a.Nanos < b.Nanos {
+				return -1
+			}
+			return 1
+		}
+		if c := strings.Compare(a.Agent, b.Agent); c != 0 {
+			return c
+		}
+		return int(a.Seq) - int(b.Seq)
+	})
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range events {
+		rec := EventRecord{
+			Agent: e.Agent, Seq: e.Seq, Nanos: e.Nanos,
+			Ev: e.Type.String(), Round: e.Round, A: e.A, B: e.B,
+		}
+		if err := enc.Encode(rec); err != nil {
+			return fmt.Errorf("dist: write events: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEventLog parses a JSONL event log produced by Cluster.WriteEvents
+// or a stall post-mortem. Blank lines are skipped; a malformed line fails
+// with its line number.
+func ReadEventLog(r io.Reader) ([]EventRecord, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var out []EventRecord
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var rec EventRecord
+		if err := json.Unmarshal(b, &rec); err != nil {
+			return nil, fmt.Errorf("dist: event log line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dist: read event log: %w", err)
+	}
+	return out, nil
+}

@@ -7,6 +7,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/workload"
 )
@@ -107,6 +109,94 @@ func TestAsyncSurvivesTransientPartition(t *testing.T) {
 	after := waitStable("post-heal", 0.05)
 	if rel := math.Abs(after-before) / before; rel > 0.05 {
 		t.Errorf("post-heal utility %.0f deviates %.1f%% from pre-partition %.0f", after, rel*100, before)
+	}
+}
+
+// TestStaleRepairsAsymmetricPartition cuts ONE direction of one
+// node->flow edge mid-run: the flow stops hearing that node's reports
+// while the node still hears the flow, so the usual symmetric-partition
+// reasoning does not apply — repair depends entirely on the node's resend
+// chirp getting through after the heal. The cluster must recover within
+// the chirp-backoff budget (the interval is capped at 16x Resend, so the
+// first post-heal chirp lands within ~32ms; the 1s bound is that plus
+// round-processing slack, against a 30s deadlock horizon) and still
+// converge to the engine's optimum.
+func TestStaleRepairsAsymmetricPartition(t *testing.T) {
+	p := workload.Base()
+	ref, err := core.NewEngine(p.Clone(), core.Config{Adaptive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Solve(400).Utility
+
+	net := transport.NewMemory()
+	defer net.Close()
+	reg := telemetry.NewRegistry()
+	tel := telemetry.NewDistMetrics(reg)
+	cl, err := New(p, Config{
+		Core:      core.Config{Adaptive: true},
+		Staleness: 1,
+		Resend:    2 * time.Millisecond,
+		Telemetry: tel,
+	}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if _, err := cl.Run(30, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	// Block one real peer node's reports to flow/0 only; flow/0's
+	// announces still reach the node. The whole (single-component)
+	// cluster stalls behind flow/0 within K rounds.
+	peer := model.NewIndex(p).NodesByFlow(0)[0]
+	net.SetOneWay(nodeName(peer), flowName(0), true)
+	done := make(chan error, 1)
+	var stats []RoundStats
+	go func() {
+		s, err := cl.Run(120, 30*time.Second)
+		stats = s
+		done <- err
+	}()
+	time.Sleep(100 * time.Millisecond)
+	select {
+	case err := <-done:
+		t.Fatalf("run finished during the one-way block: %v", err)
+	default:
+	}
+	net.SetOneWay(nodeName(peer), flowName(0), false)
+	healed := time.Now()
+
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cluster did not recover after heal")
+	}
+	if rec := time.Since(healed); rec > time.Second {
+		t.Errorf("recovery took %v, want within the 1s chirp-backoff budget", rec)
+	}
+	if len(stats) == 0 {
+		t.Fatal("no rounds finalized")
+	}
+	// 2% band: the mid-run stall perturbs the adaptive trajectory, so the
+	// 120-round tail sits slightly wider than a clean run's 1%.
+	if rel := tailMeanDeviation(stats, want, 8); rel > 0.02 {
+		t.Errorf("converged utility deviates %.2f%% from synchronous %.2f (%d rounds finalized)",
+			rel*100, want, len(stats))
+	}
+	if net.NetStats().Dropped == 0 {
+		t.Error("one-way block dropped nothing")
+	}
+	if tel.NodeChirps.Value() == 0 {
+		t.Error("no node chirps recorded during the stall")
+	}
+	if tel.FlowRepairs.Value()+tel.NodeRepairs.Value() == 0 {
+		t.Error("no chirp-credited repairs recorded")
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/multirate"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -52,6 +53,10 @@ type flowAgent struct {
 	tickEvery time.Duration // async mode when > 0
 	staleness int           // bounded-staleness window (runStale only)
 	resend    time.Duration // re-announce interval when stalled (runStale)
+
+	rec     *recorder              // flight recorder (nil = off)
+	tel     *telemetry.DistMetrics // dist telemetry (nil = off)
+	chirped bool                   // a chirp fired since the last progress
 
 	done chan struct{}
 }
@@ -292,6 +297,7 @@ func (fa *flowAgent) runSync() {
 		if err := fa.announce(fa.round, fa.computeRate(), true); err != nil {
 			return
 		}
+		fa.recordProgress(fa.round, 0)
 
 		// Await this round's reports from every peer node. A Leave
 		// arriving mid-round finishes the handshake first so peers are
@@ -330,6 +336,7 @@ func (fa *flowAgent) runStale() {
 			if err := fa.announce(fa.round, rate, true); err != nil {
 				return
 			}
+			fa.recordProgress(fa.round, fa.observedLag(reportRound))
 			lastRound, lastRate = fa.round, rate
 			fa.round++
 			announced = true
@@ -370,9 +377,13 @@ func (fa *flowAgent) runStale() {
 				if err := fa.announce(lastRound, lastRate, true); err != nil {
 					return
 				}
+				fa.rec.record(EvResend, lastRound, int64(backoff), 0)
+				fa.tel.ObserveChirp(true)
+				fa.chirped = true
 			}
 			if backoff < 16*fa.resend {
 				backoff *= 2
+				fa.tel.ObserveBackoff(true)
 			}
 			timer.Reset(backoff)
 		}
@@ -429,13 +440,50 @@ func (fa *flowAgent) handleStale(m transport.Message, reportRound map[model.Node
 			return true
 		}
 		// Strictly-newer guard: resent duplicates and out-of-order
-		// stragglers must not push into the price windows twice.
+		// stragglers must not push into the price windows twice. One
+		// event per frame: absorb when accepted (an absorb implies the
+		// receive), recv when rejected.
 		if rm.Round > reportRound[rm.Node] {
 			reportRound[rm.Node] = rm.Round
 			fa.absorbReport(rm)
+			fa.rec.record(EvAbsorb, rm.Round, int64(rm.Node), 0)
+		} else {
+			fa.rec.record(EvRecv, rm.Round, int64(rm.Node), 0)
 		}
 	}
 	return true
+}
+
+// recordProgress logs one successful announce (the send plus the round
+// advance) and credits a pending chirp with the repair: progress right
+// after a chirp means the re-announce plausibly replaced a lost frame.
+func (fa *flowAgent) recordProgress(round, lag int) {
+	fa.rec.record(EvSend, round, int64(lag), int64(fa.peerCount))
+	fa.rec.record(EvRound, round, 0, 0)
+	if fa.chirped {
+		fa.chirped = false
+		fa.tel.ObserveRepair(true)
+	}
+}
+
+// observedLag is the effective staleness of the inputs used for fa.round:
+// the gap between the newest report the round could use (round-1) and the
+// oldest peer report actually absorbed.
+func (fa *flowAgent) observedLag(reportRound map[model.NodeID]int) int {
+	if fa.round == 1 || fa.peerCount == 0 {
+		return 0
+	}
+	oldest := fa.round
+	for _, b := range fa.peerNodes {
+		if r := reportRound[b]; r < oldest {
+			oldest = r
+		}
+	}
+	lag := fa.round - 1 - oldest
+	if lag < 0 {
+		lag = 0
+	}
+	return lag
 }
 
 // handleOne processes a single inbound message, returning false on
@@ -472,6 +520,7 @@ func (fa *flowAgent) handleOne(seen map[int]map[model.NodeID]bool) bool {
 			return true
 		}
 		fa.absorbReport(rm)
+		fa.rec.record(EvAbsorb, rm.Round, int64(rm.Node), 0)
 		if seen != nil {
 			if seen[rm.Round] == nil {
 				seen[rm.Round] = make(map[model.NodeID]bool)
@@ -516,6 +565,7 @@ func (fa *flowAgent) runAsync() {
 					continue
 				}
 				fa.absorbReport(rm)
+				fa.rec.record(EvAbsorb, rm.Round, int64(rm.Node), 0)
 			}
 		case <-ticker.C:
 			if fa.idle {
@@ -524,6 +574,7 @@ func (fa *flowAgent) runAsync() {
 			if err := fa.announce(fa.round, fa.computeRate(), true); err != nil {
 				return
 			}
+			fa.recordProgress(fa.round, 0)
 			fa.round++
 		}
 	}

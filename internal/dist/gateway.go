@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -27,6 +28,8 @@ type gateway struct {
 	route      map[string]string // agent endpoint name -> host endpoint name
 	coalesce   bool              // keep only the freshest (from,to,kind) per epoch
 	flushEvery time.Duration
+	tel        *telemetry.DistMetrics
+	rec        *recorder
 
 	mu       sync.Mutex
 	ports    map[string]*hostPort
@@ -41,7 +44,7 @@ type coalesceKey struct {
 	from, to, kind string
 }
 
-func newGateway(ep transport.Endpoint, wire transport.Wire, route map[string]string, coalesce bool, flushEvery time.Duration) *gateway {
+func newGateway(ep transport.Endpoint, wire transport.Wire, route map[string]string, coalesce bool, flushEvery time.Duration, tel *telemetry.DistMetrics, rec *recorder) *gateway {
 	if flushEvery <= 0 {
 		flushEvery = DefaultFlushInterval
 	}
@@ -51,6 +54,8 @@ func newGateway(ep transport.Endpoint, wire transport.Wire, route map[string]str
 		route:      route,
 		coalesce:   coalesce,
 		flushEvery: flushEvery,
+		tel:        tel,
+		rec:        rec,
 		ports:      make(map[string]*hostPort),
 		outbox:     make(map[string][]transport.Message),
 		outIdx:     make(map[string]map[coalesceKey]int),
@@ -141,13 +146,18 @@ func (g *gateway) flush() {
 	from := g.ep.Name()
 	g.mu.Unlock()
 
+	total := 0
 	for dst, msgs := range staged {
+		total += len(msgs)
+		g.tel.ObserveFlushFrame(len(msgs))
 		payload, err := encodeBatch(g.wire, msgs)
 		if err != nil {
 			continue
 		}
 		_ = g.ep.Send(transport.Message{From: from, To: dst, Kind: batchKind, Payload: payload})
 	}
+	g.tel.ObserveFlush(total)
+	g.rec.record(EvFlush, 0, int64(total), int64(len(staged)))
 }
 
 // demuxLoop unpacks inbound batch frames to the local agent ports. It

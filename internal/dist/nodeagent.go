@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/multirate"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -50,6 +51,10 @@ type nodeAgent struct {
 	wire       transport.Wire
 	staleness  int           // bounded-staleness window (runStale only)
 	resend     time.Duration // re-broadcast interval when stalled (runStale)
+
+	rec     *recorder              // flight recorder (nil = off)
+	tel     *telemetry.DistMetrics // dist telemetry (nil = off)
+	chirped bool                   // a chirp fired since the last progress
 
 	done chan struct{}
 }
@@ -207,6 +212,36 @@ func (na *nodeAgent) markActive(i model.FlowID) {
 	}
 }
 
+// recordProgress logs one computed round (the report broadcast plus the
+// round advance) and credits a pending chirp with the repair.
+func (na *nodeAgent) recordProgress(round, lag int) {
+	na.rec.record(EvSend, round, int64(lag), int64(len(na.peers)))
+	na.rec.record(EvRound, round, 0, 0)
+	if na.chirped {
+		na.chirped = false
+		na.tel.ObserveRepair(false)
+	}
+}
+
+// observedLag is the effective staleness of round t's inputs: the gap
+// between t and the oldest absorbed rate among active flows.
+func (na *nodeAgent) observedLag(t int, latest map[model.FlowID]int) int {
+	oldest := t
+	for i := range na.expected {
+		if na.inactive[i] {
+			continue
+		}
+		if r := latest[i]; r < oldest {
+			oldest = r
+		}
+	}
+	lag := t - oldest
+	if lag < 0 {
+		lag = 0
+	}
+	return lag
+}
+
 // activeCount returns how many expected flows are still active.
 func (na *nodeAgent) activeCount() int {
 	n := 0
@@ -249,6 +284,7 @@ func (na *nodeAgent) runSync() {
 				continue
 			}
 			if !rm.Active {
+				na.rec.record(EvRecv, rm.Round, int64(rm.Flow), 0)
 				if !na.inactive[rm.Flow] {
 					na.markInactive(rm.Flow)
 				}
@@ -260,6 +296,7 @@ func (na *nodeAgent) runSync() {
 					na.markActive(rm.Flow)
 				}
 				na.rates[rm.Flow] = rm.Rate
+				na.rec.record(EvAbsorb, rm.Round, int64(rm.Flow), 0)
 				if pending[rm.Round] == nil {
 					pending[rm.Round] = make(map[model.FlowID]bool)
 				}
@@ -282,6 +319,7 @@ func (na *nodeAgent) runSync() {
 				if err := na.broadcast(report); err != nil {
 					return
 				}
+				na.recordProgress(nextRound, 0)
 				delete(pending, nextRound)
 				nextRound++
 			}
@@ -328,6 +366,7 @@ func (na *nodeAgent) runStale() {
 					continue
 				}
 				if !rm.Active {
+					na.rec.record(EvRecv, rm.Round, int64(rm.Flow), 0)
 					if !na.inactive[rm.Flow] {
 						na.markInactive(rm.Flow)
 					}
@@ -340,6 +379,9 @@ func (na *nodeAgent) runStale() {
 					if rm.Round >= latest[rm.Flow] {
 						latest[rm.Flow] = rm.Round
 						na.rates[rm.Flow] = rm.Rate
+						na.rec.record(EvAbsorb, rm.Round, int64(rm.Flow), 0)
+					} else {
+						na.rec.record(EvRecv, rm.Round, int64(rm.Flow), 0)
 					}
 				}
 			}
@@ -349,9 +391,13 @@ func (na *nodeAgent) runStale() {
 				if err := na.broadcast(lastReport); err != nil {
 					return
 				}
+				na.rec.record(EvResend, lastReport.Round, int64(backoff), 0)
+				na.tel.ObserveChirp(false)
+				na.chirped = true
 			}
 			if backoff < 16*na.resend {
 				backoff *= 2
+				na.tel.ObserveBackoff(false)
 			}
 			timer.Reset(backoff)
 			continue
@@ -362,11 +408,13 @@ func (na *nodeAgent) runStale() {
 		// needs.
 		computed := false
 		for na.canComputeStale(nextRound, latest) {
+			lag := na.observedLag(nextRound, latest)
 			lastReport = na.compute(nextRound)
 			haveReport = true
 			if err := na.broadcast(lastReport); err != nil {
 				return
 			}
+			na.recordProgress(nextRound, lag)
 			nextRound++
 			computed = true
 		}
@@ -433,12 +481,14 @@ func (na *nodeAgent) runAsync() {
 					continue
 				}
 				if !rm.Active {
+					na.rec.record(EvRecv, rm.Round, int64(rm.Flow), 0)
 					na.markInactive(rm.Flow)
 				} else {
 					if na.inactive[rm.Flow] {
 						na.markActive(rm.Flow)
 					}
 					na.rates[rm.Flow] = rm.Rate
+					na.rec.record(EvAbsorb, rm.Round, int64(rm.Flow), 0)
 				}
 			}
 		case <-ticker.C:
@@ -446,6 +496,7 @@ func (na *nodeAgent) runAsync() {
 			if err := na.broadcast(report); err != nil {
 				return
 			}
+			na.recordProgress(round, 0)
 			round++
 		}
 	}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package dist
+
+// raceEnabled reports whether the race detector is compiled in; tests
+// whose timing-derived assertions need real-time cluster cadence gate on
+// it (the detector slows the 1008-agent cluster ~50x, long enough for
+// scheduler starvation to out-lag any deliberately injected fault).
+const raceEnabled = false

@@ -1,0 +1,208 @@
+package telemetry
+
+// DistMetrics instruments the distributed runtime (package dist): round
+// progress and staleness at the collector, resend-chirp repair traffic at
+// the agents, gateway batching occupancy, stall-detector trips, and
+// per-wire network attribution. Construct with NewDistMetrics and pass
+// via dist.Config.Telemetry; a nil handle disables everything. All
+// observe methods are called from agent hot loops — they must stay
+// atomic-only, no locks, no allocation (the registry's instruments
+// already are).
+type DistMetrics struct {
+	// RoundsFinalized counts rounds the collector fully assembled.
+	RoundsFinalized *Counter
+	// StalenessLag is the frontier round (freshest round seen in any
+	// message) minus the slowest active agent's round, sampled at each
+	// finalize — the cluster's effective staleness.
+	StalenessLag *Gauge
+	// FinalizeLag is the frontier round minus the most recently finalized
+	// round: how far assembly trails the fastest agents.
+	FinalizeLag *Gauge
+	// AssemblySeconds is the time from a round's first absorbed input to
+	// its finalize.
+	AssemblySeconds *Histogram
+	// FlowChirps/NodeChirps count stall re-announces (resend chirps);
+	// FlowBackoffs/NodeBackoffs count chirp-interval escalations (a chirp
+	// that still produced no progress); FlowRepairs/NodeRepairs count
+	// stalls that resumed after at least one chirp — the chirp plausibly
+	// repaired a lost frame.
+	FlowChirps   *Counter
+	NodeChirps   *Counter
+	FlowBackoffs *Counter
+	NodeBackoffs *Counter
+	FlowRepairs  *Counter
+	NodeRepairs  *Counter
+	// GatewayFlushes counts flush epochs that carried traffic;
+	// GatewayQueueDepth is the staged message count at the most recent
+	// flush; FlushOccupancy is messages per flushed batch frame.
+	GatewayFlushes    *Counter
+	GatewayQueueDepth *Gauge
+	FlushOccupancy    *Histogram
+	// Stalls counts stall-detector trips (no collector progress within
+	// the deadline while rounds were pending).
+	Stalls *Counter
+	// Per-wire traffic mirrored from the transport's Meter after a run:
+	// frames and payload bytes by encoding, plus fault-injected drops.
+	NetFramesJSON   *Gauge
+	NetFramesBinary *Gauge
+	NetBytesJSON    *Gauge
+	NetBytesBinary  *Gauge
+	NetDropped      *Gauge
+}
+
+// DistBuckets overrides the histogram layouts used by
+// NewDistMetricsBuckets. Nil fields keep the defaults.
+type DistBuckets struct {
+	// AssemblySeconds buckets (default MicroDurationBuckets).
+	AssemblySeconds []float64
+	// FlushOccupancy buckets (default OccupancyBuckets).
+	FlushOccupancy []float64
+}
+
+// NewDistMetrics registers the dist metric family in reg and returns the
+// handle, with the default µs-scale assembly and occupancy layouts.
+func NewDistMetrics(reg *Registry) *DistMetrics {
+	return NewDistMetricsBuckets(reg, DistBuckets{})
+}
+
+// NewDistMetricsBuckets is NewDistMetrics with caller-chosen bucket
+// layouts. As with NewEngineMetricsBuckets, layouts apply only on first
+// registration of each family in reg.
+func NewDistMetricsBuckets(reg *Registry, b DistBuckets) *DistMetrics {
+	if b.AssemblySeconds == nil {
+		b.AssemblySeconds = MicroDurationBuckets()
+	}
+	if b.FlushOccupancy == nil {
+		b.FlushOccupancy = OccupancyBuckets()
+	}
+	flow := Label{Key: "agent", Value: "flow"}
+	node := Label{Key: "agent", Value: "node"}
+	return &DistMetrics{
+		RoundsFinalized: reg.Counter("lrgp_dist_rounds_finalized_total",
+			"Rounds fully assembled and finalized by the collector."),
+		StalenessLag: reg.Gauge("lrgp_dist_staleness_lag",
+			"Frontier round minus the slowest active agent's round at the last finalize."),
+		FinalizeLag: reg.Gauge("lrgp_dist_collector_finalize_lag",
+			"Frontier round minus the most recently finalized round."),
+		AssemblySeconds: reg.Histogram("lrgp_dist_round_assembly_seconds",
+			"Time from a round's first absorbed input to its finalize.", b.AssemblySeconds),
+		FlowChirps: reg.Counter("lrgp_dist_resend_chirps_total",
+			"Stall re-announces by agent kind.", flow),
+		NodeChirps: reg.Counter("lrgp_dist_resend_chirps_total",
+			"Stall re-announces by agent kind.", node),
+		FlowBackoffs: reg.Counter("lrgp_dist_resend_backoffs_total",
+			"Chirp-interval escalations by agent kind.", flow),
+		NodeBackoffs: reg.Counter("lrgp_dist_resend_backoffs_total",
+			"Chirp-interval escalations by agent kind.", node),
+		FlowRepairs: reg.Counter("lrgp_dist_repairs_total",
+			"Stalls that resumed after at least one chirp, by agent kind.", flow),
+		NodeRepairs: reg.Counter("lrgp_dist_repairs_total",
+			"Stalls that resumed after at least one chirp, by agent kind.", node),
+		GatewayFlushes: reg.Counter("lrgp_dist_gateway_flushes_total",
+			"Gateway flush epochs that carried staged traffic."),
+		GatewayQueueDepth: reg.Gauge("lrgp_dist_gateway_queue_depth",
+			"Staged messages at the most recent gateway flush."),
+		FlushOccupancy: reg.Histogram("lrgp_dist_gateway_flush_occupancy",
+			"Messages per flushed gateway batch frame.", b.FlushOccupancy),
+		Stalls: reg.Counter("lrgp_dist_stalls_total",
+			"Stall-detector trips (no collector progress within the deadline)."),
+		NetFramesJSON: reg.Gauge("lrgp_dist_net_frames",
+			"Transport frames by wire format.", Label{Key: "wire", Value: "json"}),
+		NetFramesBinary: reg.Gauge("lrgp_dist_net_frames",
+			"Transport frames by wire format.", Label{Key: "wire", Value: "binary"}),
+		NetBytesJSON: reg.Gauge("lrgp_dist_net_bytes",
+			"Transport payload bytes by wire format.", Label{Key: "wire", Value: "json"}),
+		NetBytesBinary: reg.Gauge("lrgp_dist_net_bytes",
+			"Transport payload bytes by wire format.", Label{Key: "wire", Value: "binary"}),
+		NetDropped: reg.Gauge("lrgp_dist_net_dropped",
+			"Messages lost to fault injection or partitions."),
+	}
+}
+
+// ObserveFinalize records one finalized round: the effective staleness
+// lag, the collector's finalize lag behind the frontier, and the round's
+// assembly wall time (first input to finalize, nanoseconds).
+func (m *DistMetrics) ObserveFinalize(stalenessLag, finalizeLag int, assemblyNanos int64) {
+	if m == nil {
+		return
+	}
+	m.RoundsFinalized.Inc()
+	m.StalenessLag.Set(float64(stalenessLag))
+	m.FinalizeLag.Set(float64(finalizeLag))
+	m.AssemblySeconds.ObserveSeconds(assemblyNanos)
+}
+
+// ObserveChirp records one stall re-announce.
+func (m *DistMetrics) ObserveChirp(flow bool) {
+	if m == nil {
+		return
+	}
+	if flow {
+		m.FlowChirps.Inc()
+	} else {
+		m.NodeChirps.Inc()
+	}
+}
+
+// ObserveBackoff records one chirp-interval escalation.
+func (m *DistMetrics) ObserveBackoff(flow bool) {
+	if m == nil {
+		return
+	}
+	if flow {
+		m.FlowBackoffs.Inc()
+	} else {
+		m.NodeBackoffs.Inc()
+	}
+}
+
+// ObserveRepair records a stall that resumed after at least one chirp.
+func (m *DistMetrics) ObserveRepair(flow bool) {
+	if m == nil {
+		return
+	}
+	if flow {
+		m.FlowRepairs.Inc()
+	} else {
+		m.NodeRepairs.Inc()
+	}
+}
+
+// ObserveFlush records one gateway flush epoch of `staged` total messages.
+func (m *DistMetrics) ObserveFlush(staged int) {
+	if m == nil {
+		return
+	}
+	m.GatewayFlushes.Inc()
+	m.GatewayQueueDepth.Set(float64(staged))
+}
+
+// ObserveFlushFrame records one flushed batch frame of `msgs` messages.
+func (m *DistMetrics) ObserveFlushFrame(msgs int) {
+	if m == nil {
+		return
+	}
+	m.FlushOccupancy.Observe(float64(msgs))
+}
+
+// ObserveStall records one stall-detector trip.
+func (m *DistMetrics) ObserveStall() {
+	if m == nil {
+		return
+	}
+	m.Stalls.Inc()
+}
+
+// ObserveNet mirrors a transport Meter snapshot into the net gauges. The
+// arguments are plain counts so the telemetry package stays free of a
+// transport dependency.
+func (m *DistMetrics) ObserveNet(jsonFrames, jsonBytes, binFrames, binBytes, dropped uint64) {
+	if m == nil {
+		return
+	}
+	m.NetFramesJSON.Set(float64(jsonFrames))
+	m.NetBytesJSON.Set(float64(jsonBytes))
+	m.NetFramesBinary.Set(float64(binFrames))
+	m.NetBytesBinary.Set(float64(binBytes))
+	m.NetDropped.Set(float64(dropped))
+}

@@ -57,8 +57,19 @@ type EngineMetrics struct {
 }
 
 // NewEngineMetrics registers the engine metric family in reg and returns
-// the handle.
+// the handle, with the default DurationBuckets stage layout.
 func NewEngineMetrics(reg *Registry) *EngineMetrics {
+	return NewEngineMetricsBuckets(reg, nil)
+}
+
+// NewEngineMetricsBuckets is NewEngineMetrics with a caller-chosen bucket
+// layout for the stage wall-time histograms (nil keeps DurationBuckets).
+// Bucket bounds are fixed at first registration: the layout applies only
+// when this call is the one that creates the family in reg.
+func NewEngineMetricsBuckets(reg *Registry, stageBuckets []float64) *EngineMetrics {
+	if stageBuckets == nil {
+		stageBuckets = DurationBuckets()
+	}
 	m := &EngineMetrics{
 		Steps: reg.Counter("lrgp_engine_steps_total", "Completed LRGP iterations (Engine.Step calls)."),
 		Utility: reg.Gauge("lrgp_engine_utility",
@@ -82,7 +93,7 @@ func NewEngineMetrics(reg *Registry) *EngineMetrics {
 	}
 	for s, name := range stageNames {
 		m.StageSeconds[s] = reg.Histogram("lrgp_engine_stage_seconds",
-			"Wall time of each Step stage.", DurationBuckets(),
+			"Wall time of each Step stage.", stageBuckets,
 			Label{Key: "stage", Value: name})
 	}
 	m.ConvergedIteration.Set(-1)
@@ -158,8 +169,18 @@ type BrokerMetrics struct {
 }
 
 // NewBrokerMetrics registers the broker metric family in reg and returns
-// the handle.
+// the handle, with the default FanoutBuckets layout.
 func NewBrokerMetrics(reg *Registry) *BrokerMetrics {
+	return NewBrokerMetricsBuckets(reg, nil)
+}
+
+// NewBrokerMetricsBuckets is NewBrokerMetrics with a caller-chosen bucket
+// layout for the fan-out histogram (nil keeps FanoutBuckets). As with
+// NewEngineMetricsBuckets, the layout applies only on first registration.
+func NewBrokerMetricsBuckets(reg *Registry, fanoutBuckets []float64) *BrokerMetrics {
+	if fanoutBuckets == nil {
+		fanoutBuckets = FanoutBuckets()
+	}
 	return &BrokerMetrics{
 		Published: reg.Counter("lrgp_broker_published_total",
 			"Messages accepted by the per-flow source rate limiter."),
@@ -172,7 +193,7 @@ func NewBrokerMetrics(reg *Registry) *BrokerMetrics {
 		Thinned: reg.Counter("lrgp_broker_thinned_total",
 			"Class streams subsampled by a multirate delivery-rate cap."),
 		Fanout: reg.Histogram("lrgp_broker_fanout",
-			"Delivery queue depth per accepted publish.", FanoutBuckets()),
+			"Delivery queue depth per accepted publish.", fanoutBuckets),
 		Attached: reg.Gauge("lrgp_broker_consumers_attached",
 			"Consumers attached across all classes."),
 		Admitted: reg.Gauge("lrgp_broker_consumers_admitted",

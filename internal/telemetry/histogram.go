@@ -93,3 +93,20 @@ func DurationBuckets() []float64 {
 func FanoutBuckets() []float64 {
 	return []float64{0, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}
 }
+
+// MicroDurationBuckets is a bucket layout (seconds) for µs-scale message
+// latencies: 100ns to 50ms in 1-5 decades. DurationBuckets' first bound
+// is already 1µs, which flattens sub-µs message timings into one bucket;
+// this layout resolves them.
+func MicroDurationBuckets() []float64 {
+	return []float64{
+		1e-7, 5e-7, 1e-6, 5e-6, 1e-5, 5e-5,
+		1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2,
+	}
+}
+
+// OccupancyBuckets is a bucket layout for queue/batch occupancy counts
+// (messages per gateway flush frame, staged queue depths).
+func OccupancyBuckets() []float64 {
+	return []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000}
+}

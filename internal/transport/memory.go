@@ -34,7 +34,11 @@ type Memory struct {
 	// different partitions cannot exchange messages. Empty map means no
 	// partitions.
 	partition map[string]int
-	stats     Stats
+	// oneWay blocks individual directed sender->receiver pairs, for
+	// asymmetric-partition experiments where traffic still flows the
+	// other way.
+	oneWay map[[2]string]bool
+	stats  Stats
 }
 
 var (
@@ -97,11 +101,29 @@ func (m *Memory) SetPartition(name string, id int) {
 	m.partition[name] = id
 }
 
-// ClearPartitions heals all partitions.
+// ClearPartitions heals all partitions, symmetric and one-way.
 func (m *Memory) ClearPartitions() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.partition = make(map[string]int)
+	m.oneWay = nil
+}
+
+// SetOneWay blocks (or, with blocked false, unblocks) the single directed
+// path from -> to, while the reverse direction keeps flowing. This models
+// asymmetric partitions: a receiver that has gone deaf to one sender but
+// can still be heard by it.
+func (m *Memory) SetOneWay(from, to string, blocked bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.oneWay == nil {
+		m.oneWay = make(map[[2]string]bool)
+	}
+	if blocked {
+		m.oneWay[[2]string{from, to}] = true
+	} else {
+		delete(m.oneWay, [2]string{from, to})
+	}
 }
 
 // Endpoint implements Network.
@@ -150,7 +172,7 @@ func (m *Memory) deliver(msg Message) error {
 		m.mu.Unlock()
 		return ErrDropped
 	}
-	if m.partition[msg.From] != m.partition[msg.To] {
+	if m.partition[msg.From] != m.partition[msg.To] || m.oneWay[[2]string{msg.From, msg.To}] {
 		m.stats.Dropped++
 		m.mu.Unlock()
 		return ErrDropped
@@ -197,6 +219,13 @@ func (m *Memory) enqueueLocked(msg Message) error {
 	case dst.in <- msg:
 		m.stats.Delivered++
 		m.stats.Bytes += uint64(len(msg.Payload))
+		if classifyPayload(msg.Payload) {
+			m.stats.JSON.Frames++
+			m.stats.JSON.Bytes += uint64(len(msg.Payload))
+		} else {
+			m.stats.Binary.Frames++
+			m.stats.Binary.Bytes += uint64(len(msg.Payload))
+		}
 		return nil
 	default:
 		return fmt.Errorf("transport: %q inbound buffer full", msg.To)

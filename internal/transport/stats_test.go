@@ -1,0 +1,124 @@
+package transport
+
+import (
+	"errors"
+	"testing"
+)
+
+// Per-wire attribution must split counters correctly when endpoints of one
+// network write different formats (the WireSelector mixed-wire setup).
+func TestTCPPerWireStats(t *testing.T) {
+	net := NewTCP()
+	defer net.Close()
+
+	a, _ := net.Endpoint("a") // JSON (default)
+	b, _ := net.Endpoint("b")
+	c, _ := net.Endpoint("c")
+	c.(WireSelector).SetWire(WireBinary)
+
+	for i := 0; i < 3; i++ {
+		m, err := Encode("a", "b", "from-json", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		m, err := Encode("c", "b", "from-binary", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Send(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		recvOne(t, b)
+	}
+
+	st := net.NetStats()
+	if st.JSON.Frames != 3 || st.Binary.Frames != 2 {
+		t.Fatalf("frames = JSON %d / binary %d, want 3 / 2", st.JSON.Frames, st.Binary.Frames)
+	}
+	if st.JSON.Bytes == 0 || st.Binary.Bytes == 0 {
+		t.Errorf("bytes = JSON %d / binary %d, want both > 0", st.JSON.Bytes, st.Binary.Bytes)
+	}
+	if st.Delivered != 5 {
+		t.Errorf("Delivered = %d, want 5", st.Delivered)
+	}
+	if st.Bytes != st.JSON.Bytes+st.Binary.Bytes {
+		t.Errorf("Bytes = %d, want JSON+Binary = %d", st.Bytes, st.JSON.Bytes+st.Binary.Bytes)
+	}
+}
+
+// The in-memory transport has no frames; it attributes by the
+// self-describing first payload byte.
+func TestMemoryPerWireStats(t *testing.T) {
+	net := NewMemory()
+	defer net.Close()
+
+	a, _ := net.Endpoint("a")
+	if _, err := net.Endpoint("b"); err != nil {
+		t.Fatal(err)
+	}
+
+	payloads := [][]byte{
+		[]byte(`{"round":1}`), // JSON object
+		[]byte(`[1,2,3]`),     // JSON array (batch layout)
+		{0x01, 0x02, 0x03},    // dist binary tag
+		{'B', 0x00},           // binary batch tag
+		nil,                   // empty counts as JSON (legacy encoding)
+	}
+	for _, p := range payloads {
+		if err := a.Send(Message{To: "b", Kind: "k", Payload: p}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := net.NetStats()
+	if st.JSON.Frames != 3 || st.Binary.Frames != 2 {
+		t.Fatalf("frames = JSON %d / binary %d, want 3 / 2", st.JSON.Frames, st.Binary.Frames)
+	}
+	if st.JSON.Bytes+st.Binary.Bytes != st.Bytes {
+		t.Errorf("per-wire bytes %d+%d do not sum to total %d", st.JSON.Bytes, st.Binary.Bytes, st.Bytes)
+	}
+	if st.Delivered != uint64(len(payloads)) {
+		t.Errorf("Delivered = %d, want %d", st.Delivered, len(payloads))
+	}
+}
+
+// One-way blocks drop exactly the configured direction and heal on
+// request (and with ClearPartitions).
+func TestMemoryOneWayBlock(t *testing.T) {
+	net := NewMemory()
+	defer net.Close()
+
+	a, _ := net.Endpoint("a")
+	b, _ := net.Endpoint("b")
+
+	net.SetOneWay("a", "b", true)
+	if err := a.Send(Message{To: "b", Kind: "k"}); !errors.Is(err, ErrDropped) {
+		t.Fatalf("blocked direction: err = %v, want ErrDropped", err)
+	}
+	if err := b.Send(Message{To: "a", Kind: "k"}); err != nil {
+		t.Fatalf("reverse direction: err = %v, want nil", err)
+	}
+	recvOne(t, a)
+
+	net.SetOneWay("a", "b", false)
+	if err := a.Send(Message{To: "b", Kind: "k"}); err != nil {
+		t.Fatalf("after unblock: err = %v, want nil", err)
+	}
+	recvOne(t, b)
+
+	net.SetOneWay("a", "b", true)
+	net.ClearPartitions()
+	if err := a.Send(Message{To: "b", Kind: "k"}); err != nil {
+		t.Fatalf("after ClearPartitions: err = %v, want nil", err)
+	}
+	if got := net.NetStats().Dropped; got != 1 {
+		t.Errorf("Dropped = %d, want 1", got)
+	}
+}

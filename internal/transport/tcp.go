@@ -34,13 +34,55 @@ type TCP struct {
 	endpoints []*tcpEndpoint
 	closed    bool
 	wire      Wire
+	meter     tcpMeter
 }
 
-var _ Network = (*TCP)(nil)
+var (
+	_ Network = (*TCP)(nil)
+	_ Meter   = (*TCP)(nil)
+)
 
 // NewTCP returns an empty TCP network with an in-process registry.
 func NewTCP() *TCP {
 	return &TCP{registry: make(map[string]string)}
+}
+
+// tcpMeter accumulates frame counters across a TCP network's endpoints.
+// Counting happens on the send path, where the frame layout being written
+// is known, so mixed-wire runs attribute each frame to the format that
+// actually hit the socket.
+type tcpMeter struct {
+	frames, bytes                              atomic.Uint64
+	jsonFrames, jsonBytes, binFrames, binBytes atomic.Uint64
+}
+
+// countFrame records one successfully written frame of n body bytes.
+func (m *tcpMeter) countFrame(w Wire, n int) {
+	if m == nil {
+		return
+	}
+	m.frames.Add(1)
+	m.bytes.Add(uint64(n))
+	if w == WireBinary {
+		m.binFrames.Add(1)
+		m.binBytes.Add(uint64(n))
+	} else {
+		m.jsonFrames.Add(1)
+		m.jsonBytes.Add(uint64(n))
+	}
+}
+
+// NetStats implements Meter. Delivered counts frames written to a peer
+// socket (the transport is reliable, so written means delivered unless the
+// peer dies); Bytes totals frame body bytes. TCP reports no Dropped —
+// loss shows up as send errors instead.
+func (t *TCP) NetStats() Stats {
+	return Stats{
+		Delivered: t.meter.frames.Load(),
+		Bytes:     t.meter.bytes.Load(),
+		JSON:      WireStats{Frames: t.meter.jsonFrames.Load(), Bytes: t.meter.jsonBytes.Load()},
+		Binary:    WireStats{Frames: t.meter.binFrames.Load(), Bytes: t.meter.binBytes.Load()},
+	}
 }
 
 // SetWire sets the outbound wire format for endpoints created after this
@@ -67,6 +109,7 @@ func (t *TCP) Endpoint(name string) (Endpoint, error) {
 	if err != nil {
 		return nil, err
 	}
+	ep.meter = &t.meter
 	ep.SetWire(t.wire)
 	t.registry[name] = ep.listener.Addr().String()
 	t.endpoints = append(t.endpoints, ep)
@@ -104,6 +147,7 @@ type tcpEndpoint struct {
 	listener net.Listener
 	resolve  func(string) (string, error)
 	wire     atomic.Uint32
+	meter    *tcpMeter // shared with the owning network; nil for standalone endpoints
 
 	in      chan Message
 	mu      sync.Mutex
@@ -202,6 +246,7 @@ func (e *tcpEndpoint) sendJSON(c *outConn, msg *Message) error {
 		e.dropConn(msg.To)
 		return fmt.Errorf("transport: send to %q: %w", msg.To, err)
 	}
+	e.meter.countFrame(WireJSON, len(data))
 	return nil
 }
 
@@ -209,9 +254,10 @@ func (e *tcpEndpoint) sendJSON(c *outConn, msg *Message) error {
 // AppendMessage body, assembled in the connection's scratch buffer so the
 // steady-state encode path allocates nothing.
 func (e *tcpEndpoint) sendBinary(c *outConn, msg *Message) error {
+	body := BinarySize(msg)
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.buf = binary.AppendUvarint(c.buf[:0], uint64(BinarySize(msg)))
+	c.buf = binary.AppendUvarint(c.buf[:0], uint64(body))
 	c.buf = AppendMessage(c.buf, msg)
 	if _, err := c.w.Write(c.buf); err != nil {
 		e.dropConn(msg.To)
@@ -221,6 +267,7 @@ func (e *tcpEndpoint) sendBinary(c *outConn, msg *Message) error {
 		e.dropConn(msg.To)
 		return fmt.Errorf("transport: send to %q: %w", msg.To, err)
 	}
+	e.meter.countFrame(WireBinary, body)
 	return nil
 }
 

@@ -81,8 +81,16 @@ var (
 	ErrDropped     = errors.New("transport: message dropped by fault injection")
 )
 
+// WireStats attributes traffic to one wire format.
+type WireStats struct {
+	// Frames counts messages (or TCP frames) carried in this format.
+	Frames uint64
+	// Bytes totals the payload bytes carried in this format.
+	Bytes uint64
+}
+
 // Stats counts traffic through a network, for communication-overhead
-// experiments.
+// experiments and the dist telemetry families.
 type Stats struct {
 	// Delivered counts messages handed to a destination endpoint.
 	Delivered uint64
@@ -90,6 +98,22 @@ type Stats struct {
 	Dropped uint64
 	// Bytes totals the payload bytes of delivered messages.
 	Bytes uint64
+	// JSON and Binary split the delivered traffic per wire format, so
+	// mixed-wire runs can attribute bytes and frames to each encoding.
+	// The in-memory transport classifies by the self-describing first
+	// payload byte; the TCP transport counts by the frame layout it
+	// actually wrote.
+	JSON   WireStats
+	Binary WireStats
+}
+
+// classifyPayload reports whether an encoded payload is JSON. Payloads are
+// self-describing by their first byte (see Message): '{' or '[' open a
+// JSON document, anything else (the 'B' batch tag, the dist binary tags)
+// is binary. Empty payloads count as JSON — only the legacy encoding
+// omits bodies.
+func classifyPayload(p []byte) (isJSON bool) {
+	return len(p) == 0 || p[0] == '{' || p[0] == '['
 }
 
 // Meter is implemented by networks that count their traffic.

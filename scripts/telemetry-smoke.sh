@@ -4,18 +4,23 @@
 # Builds lrgp-broker (race-instrumented when RACE=1), starts it with
 # -telemetry-addr, polls /metrics until the engine and broker counter
 # families are present and non-zero, checks /debug/pprof and /snapshot,
-# and fails loudly otherwise. Run via `make telemetry-smoke`; CI runs it
-# with RACE=1.
+# and fails loudly otherwise. A second phase reruns the broker with
+# -optimizer dist and asserts the lrgp_dist_* families, then feeds the
+# -dist-events flight-recorder log through lrgp-trace. Run via
+# `make telemetry-smoke`; CI runs it with RACE=1.
 set -euo pipefail
 
 PORT="${PORT:-9090}"
 ADDR="127.0.0.1:${PORT}"
-BIN="$(mktemp -d)/lrgp-broker"
+TMP="$(mktemp -d)"
+BIN="${TMP}/lrgp-broker"
+TRACE_BIN="${TMP}/lrgp-trace"
+EVENTS="${TMP}/events.jsonl"
 OUT="$(mktemp)"
 
 cleanup() {
     [ -n "${BROKER_PID:-}" ] && kill "${BROKER_PID}" 2>/dev/null || true
-    rm -rf "$(dirname "${BIN}")" "${OUT}"
+    rm -rf "${TMP}" "${OUT}"
 }
 trap cleanup EXIT
 
@@ -23,8 +28,9 @@ build_flags=()
 if [ "${RACE:-0}" = "1" ]; then
     build_flags+=(-race)
 fi
-echo "telemetry-smoke: building lrgp-broker ${build_flags[*]:-}"
+echo "telemetry-smoke: building lrgp-broker and lrgp-trace ${build_flags[*]:-}"
 go build "${build_flags[@]}" -o "${BIN}" ./cmd/lrgp-broker
+go build "${build_flags[@]}" -o "${TRACE_BIN}" ./cmd/lrgp-trace
 
 # A generous publish window keeps the server alive while we poll; the
 # script kills the process as soon as the checks pass.
@@ -74,4 +80,86 @@ fetch /debug/pprof/cmdline >/dev/null || { echo "telemetry-smoke: pprof unreacha
 fetch /debug/vars | grep -q '"lrgp"' || { echo "telemetry-smoke: expvar missing lrgp" >&2; exit 1; }
 fetch /snapshot | grep -q '"Utility"' || { echo "telemetry-smoke: snapshot missing Utility" >&2; exit 1; }
 
-echo "telemetry-smoke: OK (engine steps, broker counters, stage histograms, pprof, expvar, snapshot)"
+echo "telemetry-smoke: colocated OK (engine steps, broker counters, stage histograms, pprof, expvar, snapshot)"
+kill "${BROKER_PID}" 2>/dev/null || true
+wait "${BROKER_PID}" 2>/dev/null || true
+BROKER_PID=
+
+# Phase 2: the distributed optimizer with the flight recorder attached.
+# The dist run completes before the publish window, so once the round
+# counter is non-zero every lrgp_dist_* family has its final value.
+"${BIN}" -telemetry-addr "${ADDR}" -optimizer dist -rounds 60 \
+    -publish-seconds 30 -dist-events "${EVENTS}" -dist-stall-timeout 30s \
+    >"${OUT}" 2>&1 &
+BROKER_PID=$!
+
+echo "telemetry-smoke: waiting for non-empty dist counters on ${ADDR}"
+deadline=$((SECONDS + 60))
+while :; do
+    if ! kill -0 "${BROKER_PID}" 2>/dev/null; then
+        echo "telemetry-smoke: dist lrgp-broker exited early:" >&2
+        cat "${OUT}" >&2
+        exit 1
+    fi
+    if metrics="$(fetch /metrics 2>/dev/null)" \
+        && grep -Eq '^lrgp_dist_rounds_finalized_total [1-9]' <<<"${metrics}"; then
+        break
+    fi
+    if [ "${SECONDS}" -ge "${deadline}" ]; then
+        echo "telemetry-smoke: dist counters never became non-empty; last scrape:" >&2
+        echo "${metrics:-<no response>}" >&2
+        cat "${OUT}" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+for family in \
+    lrgp_dist_staleness_lag \
+    lrgp_dist_collector_finalize_lag \
+    'lrgp_dist_round_assembly_seconds_bucket{le=' \
+    'lrgp_dist_resend_chirps_total{agent="flow"}' \
+    'lrgp_dist_resend_chirps_total{agent="node"}' \
+    'lrgp_dist_resend_backoffs_total{agent=' \
+    'lrgp_dist_repairs_total{agent=' \
+    lrgp_dist_gateway_flushes_total \
+    lrgp_dist_gateway_queue_depth \
+    'lrgp_dist_gateway_flush_occupancy_bucket{le=' \
+    lrgp_dist_stalls_total \
+    'lrgp_dist_net_frames{wire="json"}' \
+    'lrgp_dist_net_frames{wire="binary"}' \
+    'lrgp_dist_net_bytes{wire=' \
+    lrgp_dist_net_dropped; do
+    if ! grep -Fq "${family}" <<<"${metrics}"; then
+        echo "telemetry-smoke: /metrics missing ${family}" >&2
+        exit 1
+    fi
+done
+
+# The event log lands after the full dist run; wait for the broker's
+# confirmation line before killing it.
+deadline=$((SECONDS + 60))
+until grep -q "flight recorder: event log written to" "${OUT}"; do
+    if ! kill -0 "${BROKER_PID}" 2>/dev/null || [ "${SECONDS}" -ge "${deadline}" ]; then
+        echo "telemetry-smoke: event log was never written:" >&2
+        cat "${OUT}" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+kill "${BROKER_PID}" 2>/dev/null || true
+wait "${BROKER_PID}" 2>/dev/null || true
+BROKER_PID=
+
+# Analyze the flight-recorder log with lrgp-trace.
+[ -s "${EVENTS}" ] || { echo "telemetry-smoke: -dist-events wrote nothing" >&2; cat "${OUT}" >&2; exit 1; }
+analysis="$("${TRACE_BIN}" -events "${EVENTS}")"
+for table in "== round timeline ==" "== stragglers" "== loss hotspots" "== effective staleness"; do
+    if ! grep -Fq "${table}" <<<"${analysis}"; then
+        echo "telemetry-smoke: lrgp-trace output missing ${table}:" >&2
+        echo "${analysis}" >&2
+        exit 1
+    fi
+done
+
+echo "telemetry-smoke: OK (colocated + dist metric families, flight recorder, lrgp-trace)"

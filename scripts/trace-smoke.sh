@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# trace-smoke.sh — flight-recorder round trip through the analyzer.
+#
+# Runs lrgp-broker with the distributed optimizer and -dist-events, then
+# feeds the event log through lrgp-trace and prints the analysis (round
+# timeline, stragglers, loss hotspots, effective staleness). Run via
+# `make trace-analyze`.
+set -euo pipefail
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "${TMP}"' EXIT
+EVENTS="${TMP}/events.jsonl"
+
+echo "trace-smoke: running lrgp-broker -optimizer dist -dist-events"
+go run ./cmd/lrgp-broker -optimizer dist -rounds 60 -publish-seconds 0.2 \
+    -dist-events "${EVENTS}" >"${TMP}/broker.out"
+
+[ -s "${EVENTS}" ] || { echo "trace-smoke: no event log written" >&2; exit 1; }
+echo "trace-smoke: analyzing $(wc -l <"${EVENTS}") events"
+go run ./cmd/lrgp-trace -events "${EVENTS}"
