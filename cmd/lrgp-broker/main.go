@@ -17,6 +17,8 @@
 //	            [-rounds 120] [-workers 0] [-reopt 0] [-publish-seconds 2]
 //	            [-producers 1] [-telemetry-addr :9090] [-trace-out run.jsonl]
 //	            [-dist-events events.jsonl] [-dist-stall-timeout 0]
+//	            [-autopilot] [-autopilot-seconds 5] [-autopilot-interval 50ms]
+//	            [-churn storm,flash,diurnal]
 //
 // -trace-out records a JSONL iteration trace (one
 // telemetry.IterationRecord per line): the full per-iteration optimizer
@@ -34,13 +36,26 @@
 // and warm re-solves from the previous fixpoint via Engine.Reset instead
 // of rebuilding the engine, the steady-state loop a long-lived broker
 // runs. The last round's allocation is the one enacted.
+//
+// -autopilot replaces the solve-once-then-publish flow entirely: a
+// broker.Autopilot re-optimizes continuously (every -autopilot-interval)
+// from live demand while churn drivers (-churn, comma-separated from
+// storm, flash, diurnal) attach and detach consumers and producers
+// publish against the enacted rates for -autopilot-seconds. Enactment
+// goes through the broker's incremental route path; with -telemetry-addr
+// the lrgp_enact_* family (apply latency, route-build modes, enacted vs
+// skipped cycles, allocation delta, oscillation) is scrapeable on
+// /metrics throughout the run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
+	"math/rand"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -80,6 +95,10 @@ func run(args []string, out io.Writer) error {
 		pubSeconds    = fs.Float64("publish-seconds", 2, "how long to publish synthetic traffic")
 		producersN    = fs.Int("producers", 1, "concurrent producer goroutines generating the synthetic traffic (flows are spread round-robin; several producers may share a flow)")
 		telemetryAddr = fs.String("telemetry-addr", "", "serve /metrics, /debug/pprof, /debug/vars and /snapshot on this address (e.g. :9090); empty disables")
+		autopilot     = fs.Bool("autopilot", false, "run the continuous re-optimization loop under synthetic churn instead of the solve-once demo (colocated only)")
+		apSeconds     = fs.Float64("autopilot-seconds", 5, "how long the -autopilot scenario runs")
+		apInterval    = fs.Duration("autopilot-interval", 50*time.Millisecond, "re-optimization cycle interval for -autopilot")
+		churnSpec     = fs.String("churn", "storm,flash,diurnal", "comma-separated churn drivers for -autopilot: storm, flash, diurnal")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,12 +113,14 @@ func run(args []string, out io.Writer) error {
 		em   *telemetry.EngineMetrics
 		bm   *telemetry.BrokerMetrics
 		dm   *telemetry.DistMetrics
+		enm  *telemetry.EnactMetrics
 		snap atomic.Pointer[core.Snapshot]
 	)
 	if *telemetryAddr != "" {
 		reg := telemetry.NewRegistry()
 		em = telemetry.NewEngineMetrics(reg)
 		bm = telemetry.NewBrokerMetrics(reg)
+		enm = telemetry.NewEnactMetrics(reg)
 		if *optimizer == "dist" {
 			dm = telemetry.NewDistMetrics(reg)
 		}
@@ -116,6 +137,13 @@ func run(args []string, out io.Writer) error {
 		}
 		defer srv.Close()
 		fmt.Fprintf(out, "telemetry: listening on http://%s (/metrics /snapshot /debug/pprof /debug/vars)\n", srv.Addr)
+	}
+
+	if *autopilot {
+		if *optimizer != "colocated" {
+			return fmt.Errorf("-autopilot requires -optimizer colocated (the dist formulation has no live re-optimization loop yet)")
+		}
+		return runAutopilot(out, p, bm, enm, *apSeconds, *apInterval, *churnSpec, *workers)
 	}
 
 	// -trace-out: one JSONL IterationRecord per optimizer step. The
@@ -443,4 +471,260 @@ func totalAttached(p *model.Problem) int {
 		n += c.MaxConsumers
 	}
 	return n
+}
+
+// runAutopilot is the -autopilot scenario: a broker.Autopilot re-solves
+// continuously from live demand while churn drivers attach and detach
+// consumers and per-flow producers offer ~1.2x the enacted rates. All
+// enactment flows through the broker's incremental route path; the
+// summary lines at the end mirror what -telemetry-addr exposes live as
+// the lrgp_enact_* family.
+func runAutopilot(out io.Writer, p *model.Problem, bm *telemetry.BrokerMetrics,
+	enm *telemetry.EnactMetrics, seconds float64, interval time.Duration,
+	churnSpec string, workers int) error {
+	b, err := broker.New(p, broker.WithTelemetry(bm), broker.WithEnactTelemetry(enm))
+	if err != nil {
+		return err
+	}
+	// Baseline population: half of each class's configured demand, so the
+	// first cycles have something to admit before the churn ramps.
+	var deliveredTotal atomic.Uint64
+	for j, c := range p.Classes {
+		for k := 0; k < c.MaxConsumers/2; k++ {
+			if _, err := b.AttachConsumer(model.ClassID(j), nil, func(broker.Message) {
+				deliveredTotal.Add(1)
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	ap, err := broker.NewAutopilot(b, broker.AutopilotConfig{
+		Core:      core.Config{Adaptive: true, Workers: workers},
+		Telemetry: enm,
+	})
+	if err != nil {
+		return err
+	}
+	defer ap.Close()
+
+	window := time.Duration(seconds * float64(time.Second))
+	fmt.Fprintf(out, "autopilot: re-optimizing %s every %v for %v (churn: %s)\n",
+		p.Name, interval, window, churnSpec)
+
+	stop := make(chan struct{})
+	errs := make(chan error, 1)
+	loopDone := ap.Loop(interval, stop, errs)
+
+	var churnWG sync.WaitGroup
+	churnStop := make(chan struct{})
+	for _, name := range strings.Split(churnSpec, ",") {
+		var drive func(*broker.Broker, *model.Problem, time.Duration, <-chan struct{}, *sync.WaitGroup)
+		switch strings.TrimSpace(name) {
+		case "storm":
+			drive = stormChurn
+		case "flash":
+			drive = flashChurn
+		case "diurnal":
+			drive = diurnalChurn
+		case "":
+			continue
+		default:
+			close(churnStop)
+			churnWG.Wait()
+			close(stop)
+			<-loopDone
+			return fmt.Errorf("unknown -churn driver %q (want storm, flash, diurnal)", name)
+		}
+		churnWG.Add(1)
+		go drive(b, p, window, churnStop, &churnWG)
+	}
+
+	// Producers: each flow is offered ~1.2x its currently enacted rate
+	// (floored so idle flows still generate signal), so the autopilot's
+	// offered-rate estimator sees live load and the over-offer exercises
+	// throttling.
+	var pubWG sync.WaitGroup
+	pubStop := make(chan struct{})
+	for i := range p.Flows {
+		pubWG.Add(1)
+		go func(flow model.FlowID) {
+			defer pubWG.Done()
+			attrs := map[string]float64{"price": 80}
+			for {
+				select {
+				case <-pubStop:
+					return
+				default:
+				}
+				fs, err := b.FlowStats(flow)
+				if err != nil {
+					return
+				}
+				rate := 1.2 * fs.Rate
+				if rate < 50 {
+					rate = 50
+				}
+				// Offer one 5ms slice of the target rate, then sleep it off.
+				n := int(rate / 200)
+				if n < 1 {
+					n = 1
+				}
+				for k := 0; k < n; k++ {
+					_ = b.Publish(flow, attrs, "tick")
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+		}(model.FlowID(i))
+	}
+
+	time.Sleep(window)
+	close(churnStop)
+	churnWG.Wait()
+	close(pubStop)
+	pubWG.Wait()
+	close(stop)
+	<-loopDone
+	var loopErr error
+	select {
+	case loopErr = <-errs:
+	default:
+	}
+
+	st := ap.Stats()
+	es := b.EnactStats()
+	fmt.Fprintf(out, "autopilot: cycles=%d enacted=%d skipped=%d delta=%.4f oscillation=%.3f demand=%d\n",
+		st.Cycles, st.Enacted, st.Skipped, st.LastDelta, st.Oscillation, st.DemandConsumers)
+	fmt.Fprintf(out, "enact: applies=%d noops=%d route[noop=%d incremental=%d full=%d] classes=%d flows=%d rates=%d\n",
+		es.Applies, es.NoopApplies, es.RouteNoops, es.RouteIncrementals, es.RouteFulls,
+		es.ClassesTouched, es.FlowsTouched, es.RatesChanged)
+	var published, throttled uint64
+	for i := range p.Flows {
+		fs, err := b.FlowStats(model.FlowID(i))
+		if err != nil {
+			return err
+		}
+		published += fs.Published
+		throttled += fs.Throttled
+	}
+	fmt.Fprintf(out, "traffic: published=%d throttled=%d delivered=%d work=%d\n",
+		published, throttled, deliveredTotal.Load(), b.WorkUnits())
+	if st.Cycles == 0 {
+		return fmt.Errorf("autopilot completed no cycles in %v", window)
+	}
+	return loopErr
+}
+
+// stormChurn is the attach/detach storm: short-lived consumers slam a
+// random class in bursts, exercising the enact path's storm fast path
+// (never-admitted consumers attach and detach without a snapshot swap).
+func stormChurn(b *broker.Broker, p *model.Problem, _ time.Duration,
+	stop <-chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	rng := rand.New(rand.NewSource(1))
+	ids := make([]broker.ConsumerID, 0, 8)
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		class := model.ClassID(rng.Intn(len(p.Classes)))
+		ids = ids[:0]
+		for k := 0; k < 8; k++ {
+			id, err := b.AttachConsumer(class, nil, nil)
+			if err != nil {
+				return
+			}
+			ids = append(ids, id)
+		}
+		time.Sleep(2 * time.Millisecond)
+		for _, id := range ids {
+			_ = b.DetachConsumer(id)
+		}
+	}
+}
+
+// flashChurn is the flash crowd: a third of the way into the window a
+// burst of consumers floods the first classes (demand spike), and two
+// thirds in they all leave (collapse) — the classic up-then-down the
+// oscillation score watches.
+func flashChurn(b *broker.Broker, p *model.Problem, window time.Duration,
+	stop <-chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	var crowd []broker.ConsumerID
+	defer func() {
+		for _, id := range crowd {
+			_ = b.DetachConsumer(id)
+		}
+	}()
+	wait := func(d time.Duration) bool {
+		select {
+		case <-stop:
+			return false
+		case <-time.After(d):
+			return true
+		}
+	}
+	if !wait(window / 3) {
+		return
+	}
+	for j := 0; j < len(p.Classes) && j < 3; j++ {
+		for k := 0; k < 4*p.Classes[j].MaxConsumers; k++ {
+			id, err := b.AttachConsumer(model.ClassID(j), nil, nil)
+			if err != nil {
+				return
+			}
+			crowd = append(crowd, id)
+		}
+	}
+	if !wait(window / 3) {
+		return
+	}
+	for _, id := range crowd {
+		_ = b.DetachConsumer(id)
+	}
+	crowd = nil
+}
+
+// diurnalChurn slowly modulates each class's attached population on a
+// phase-shifted sinusoid (two periods over the window), the smooth load
+// curve the threshold should mostly absorb without enacting.
+func diurnalChurn(b *broker.Broker, p *model.Problem, window time.Duration,
+	stop <-chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	attached := make([][]broker.ConsumerID, len(p.Classes))
+	defer func() {
+		for _, ids := range attached {
+			for _, id := range ids {
+				_ = b.DetachConsumer(id)
+			}
+		}
+	}()
+	start := time.Now()
+	ticker := time.NewTicker(20 * time.Millisecond)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		phase := 4 * math.Pi * time.Since(start).Seconds() / window.Seconds()
+		for j := range p.Classes {
+			amp := float64(p.Classes[j].MaxConsumers) / 2
+			target := int(amp * (1 + math.Sin(phase+float64(j))) / 2)
+			for len(attached[j]) < target {
+				id, err := b.AttachConsumer(model.ClassID(j), nil, nil)
+				if err != nil {
+					return
+				}
+				attached[j] = append(attached[j], id)
+			}
+			for len(attached[j]) > target {
+				id := attached[j][len(attached[j])-1]
+				attached[j] = attached[j][:len(attached[j])-1]
+				_ = b.DetachConsumer(id)
+			}
+		}
+	}
 }

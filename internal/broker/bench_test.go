@@ -137,6 +137,99 @@ func BenchmarkPublishMultiFlow(b *testing.B) {
 	})
 }
 
+// benchDeltaBroker builds a 10k-flow broker (one class and 2 admitted
+// consumers per flow) with its allocation enacted — the incremental
+// enact path's scale fixture.
+func benchDeltaBroker(tb testing.TB, flows int) (*Broker, model.Allocation) {
+	tb.Helper()
+	p := fanProblem(flows)
+	br, err := New(p)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	alloc := model.NewAllocation(p)
+	for i := 0; i < flows; i++ {
+		for k := 0; k < 2; k++ {
+			if _, err := br.AttachConsumer(model.ClassID(i), nil, nil); err != nil {
+				tb.Fatal(err)
+			}
+		}
+		alloc.Rates[i] = 1e9
+		alloc.Consumers[i] = 2
+	}
+	if err := br.ApplyAllocation(alloc); err != nil {
+		tb.Fatal(err)
+	}
+	return br, alloc
+}
+
+// BenchmarkApplyAllocationDelta: a single-class admission delta on a
+// 10k-flow broker. The incremental path should rebuild exactly one
+// flow's route slice and share the other 9999 — cost proportional to
+// the delta, not the broker. Compare against
+// BenchmarkApplyAllocationFullRebuild for the old cost of the same call.
+func BenchmarkApplyAllocationDelta(b *testing.B) {
+	br, alloc := benchDeltaBroker(b, 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alloc.Consumers[0] = 1 + i%2 // flip one class between 1 and 2 admitted
+		if err := br.ApplyAllocation(alloc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkApplyAllocationDeltaParallel contends the same single-class
+// delta from all procs (-cpu=1,4): enacts serialize on the broker mutex,
+// so per-op cost at -cpu=4 should stay close to -cpu=1 now that the
+// critical section no longer rebuilds 10k flows.
+func BenchmarkApplyAllocationDeltaParallel(b *testing.B) {
+	br, alloc := benchDeltaBroker(b, 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		a := alloc.Clone()
+		i := 0
+		for pb.Next() {
+			i++
+			a.Consumers[0] = 1 + i%2
+			if err := br.ApplyAllocation(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkApplyAllocationNoop: re-enacting the enacted allocation on a
+// 10k-flow broker. Acceptance bar: ≤ 2 allocs/op (designed for 0) and
+// no snapshot publication.
+func BenchmarkApplyAllocationNoop(b *testing.B) {
+	br, alloc := benchDeltaBroker(b, 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := br.ApplyAllocation(alloc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkApplyAllocationFullRebuild forces the from-scratch snapshot
+// build on the same 10k-flow broker — the cost every ApplyAllocation
+// paid before the incremental path, kept as the honest baseline for the
+// Delta benchmark's speedup claim.
+func BenchmarkApplyAllocationFullRebuild(b *testing.B) {
+	br, _ := benchDeltaBroker(b, 10000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br.mu.Lock()
+		br.rebuildRouteLocked()
+		br.mu.Unlock()
+	}
+}
+
 // BenchmarkApplyAllocation measures enactment cost on the base workload
 // with its full consumer population attached.
 func BenchmarkApplyAllocation(b *testing.B) {

@@ -3,6 +3,7 @@ package broker
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -110,7 +111,10 @@ type Broker struct {
 	flows []flowState
 	route atomic.Pointer[routeTable]
 
-	// Control plane, guarded by mu.
+	// Control plane, guarded by mu. ApplyAllocation's optimistic diff
+	// scan runs before taking mu (against the atomic mirrors below), so
+	// concurrent enacts scan in parallel and only the delta application
+	// serializes (see ApplyAllocation).
 	mu           sync.Mutex
 	classes      []classState
 	nextID       ConsumerID
@@ -124,6 +128,73 @@ type Broker struct {
 	// uninstrumented broker pays one branch per call site and the
 	// instrumented data plane stays mutex-free.
 	tel *telemetry.BrokerMetrics
+
+	// Incremental-enact state (control-plane owned, guarded by mu; see
+	// enact.go). dirtyClasses and dirtyFlows are scratch reused across
+	// enacts; flowMark and blockMark with markEpoch dedup dirty flows
+	// and route blocks without an O(flows) clear.
+	dirtyClasses []model.ClassID
+	dirtyFlows   []model.FlowID
+	flowMark     []uint64
+	blockMark    []uint64
+	markEpoch    uint64
+	enactStats   EnactStats
+	enactTel     *telemetry.EnactMetrics
+
+	// Dense mirrors of each flow's enacted rate (as Float64bits) and
+	// each class's attached/admitted counts. Written only under mu,
+	// atomically, so ApplyAllocation's diff scan reads them with no lock
+	// at all: on a 10k-flow broker the scan streams sequential arrays
+	// instead of dereferencing every padded flowState and classState
+	// (~20k scattered cache misses), the read-mostly lines stay cached
+	// across cores, and concurrent enacts overlap their scans entirely.
+	enactedRates  []atomic.Uint64
+	attachedCount []atomic.Int32
+	admittedCount []atomic.Int32
+
+	// Mutation journal over the mirrors: every mirror write under mu
+	// appends an entry and bumps mutGen, so a lock-free optimistic scan
+	// that loaded mutGen before reading the mirrors can validate itself
+	// once it holds mu — it replays only the entries journaled since its
+	// snapshot instead of rescanning the world. (Go atomics are
+	// sequentially consistent: a mirror write the scan did not observe
+	// must have a generation >= the scan's snapshot, so replay covers
+	// every miss.) The ring is bounded; a scanner that fell more than
+	// mutLogSize entries behind rescans under the lock.
+	mutGen atomic.Uint64
+	mutLog []uint64
+}
+
+// Mutation-journal entry encoding: the low bits carry the flow or class
+// index, the mutClassBit flag distinguishes class-population entries
+// (attached or admitted count moved) from flow-rate entries.
+const (
+	mutLogSize  = 1024
+	mutClassBit = uint64(1) << 62
+)
+
+// journalLocked records one mirror mutation. Callers must hold mu, and
+// must store the mirror value before journaling it — the scan-coverage
+// argument above relies on that order.
+func (b *Broker) journalLocked(entry uint64) {
+	g := b.mutGen.Load()
+	b.mutLog[g%mutLogSize] = entry
+	b.mutGen.Store(g + 1)
+}
+
+// classWantsChange reports whether enacting want admitted consumers for
+// class j would move its admitted count, after clamping want to the
+// attached population. Reads only the atomic mirrors, so it is safe both
+// under mu and from the lock-free scan (where a torn attached/admitted
+// pair can only involve writes the journal replay re-checks anyway).
+func (b *Broker) classWantsChange(j, want int) bool {
+	if att := int(b.attachedCount[j].Load()); want > att {
+		want = att
+	}
+	if want < 0 {
+		want = 0
+	}
+	return want != int(b.admittedCount[j].Load())
 }
 
 // Option configures a Broker.
@@ -178,13 +249,19 @@ func New(p *model.Problem, opts ...Option) (*Broker, error) {
 		return nil, fmt.Errorf("broker: %w", err)
 	}
 	b := &Broker{
-		p:         p,
-		ix:        model.NewIndex(p),
-		now:       time.Now,
-		flows:     make([]flowState, len(p.Flows)),
-		classes:   make([]classState, len(p.Classes)),
-		byID:      make(map[ConsumerID]*consumer),
-		producers: make(map[ProducerID]*Producer),
+		p:             p,
+		ix:            model.NewIndex(p),
+		now:           time.Now,
+		flows:         make([]flowState, len(p.Flows)),
+		classes:       make([]classState, len(p.Classes)),
+		byID:          make(map[ConsumerID]*consumer),
+		producers:     make(map[ProducerID]*Producer),
+		flowMark:      make([]uint64, len(p.Flows)),
+		blockMark:     make([]uint64, (len(p.Flows)+routeBlockSize-1)/routeBlockSize),
+		enactedRates:  make([]atomic.Uint64, len(p.Flows)),
+		attachedCount: make([]atomic.Int32, len(p.Classes)),
+		admittedCount: make([]atomic.Int32, len(p.Classes)),
+		mutLog:        make([]uint64, mutLogSize),
 	}
 	for j := range b.classes {
 		b.classes[j].transform = Identity{}
@@ -196,6 +273,7 @@ func New(p *model.Problem, opts ...Option) (*Broker, error) {
 	for i, f := range p.Flows {
 		b.flows[i].bucket = NewTokenBucket(f.RateMin, 0, start)
 		b.flows[i].setRate(f.RateMin)
+		b.enactedRates[i].Store(math.Float64bits(f.RateMin))
 	}
 	b.rebuildRouteLocked()
 	return b, nil
@@ -223,17 +301,24 @@ func (b *Broker) AttachConsumer(class model.ClassID, filter Filter, h Handler) (
 	cs := &b.classes[class]
 	cs.consumers = append(cs.consumers, c)
 	cs.counters.attached.Add(1)
+	b.attachedCount[class].Add(1)
+	b.journalLocked(uint64(class) | mutClassBit)
 	b.byID[id] = c
-	b.tel.ObserveConsumers(b.consumerTotalsLocked())
+	if b.tel != nil {
+		b.tel.ObserveConsumers(b.consumerTotalsLocked())
+	}
 	return id, nil
 }
 
 // consumerTotalsLocked returns the attached and admitted consumer counts
-// across all classes. Callers must hold b.mu.
+// across all classes, summed from the dense admitted mirror. Callers
+// must hold b.mu and should skip the call entirely when b.tel is nil —
+// it is telemetry-only, and even a dense O(classes) scan is measurable
+// inside the enact critical section.
 func (b *Broker) consumerTotalsLocked() (attached, admitted int) {
 	attached = len(b.byID)
-	for j := range b.classes {
-		admitted += b.classes[j].admitted
+	for j := range b.admittedCount {
+		admitted += int(b.admittedCount[j].Load())
 	}
 	return attached, admitted
 }
@@ -248,6 +333,8 @@ func (b *Broker) DetachConsumer(id ConsumerID) error {
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownConsumer, id)
 	}
+	start := b.enactStartNanos()
+	classes := 0
 	delete(b.byID, id)
 	cs := &b.classes[c.class]
 	for k, cc := range cs.consumers {
@@ -257,12 +344,26 @@ func (b *Broker) DetachConsumer(id ConsumerID) error {
 		}
 	}
 	cs.counters.attached.Add(-1)
+	b.attachedCount[c.class].Add(-1)
 	if c.admitted {
 		cs.admitted--
 		cs.counters.admitted.Add(-1)
+		b.admittedCount[c.class].Add(-1)
+		// Only an admitted consumer is visible to the data plane; its
+		// departure dirties exactly its class's flow. Detaching a
+		// never-admitted consumer (the common case in attach/detach
+		// storms) publishes nothing.
+		b.dirtyClasses = append(b.dirtyClasses, c.class)
+		classes = 1
 	}
-	b.rebuildRouteLocked()
-	b.tel.ObserveConsumers(b.consumerTotalsLocked())
+	// Journaled once, after every mirror write it covers (see
+	// journalLocked: mirror stores must precede their journal entry).
+	b.journalLocked(uint64(c.class) | mutClassBit)
+	mode, flows := b.republishLocked()
+	b.observeEnactLocked(start, mode, classes, flows, 0)
+	if b.tel != nil {
+		b.tel.ObserveConsumers(b.consumerTotalsLocked())
+	}
 	return nil
 }
 
@@ -277,41 +378,167 @@ func (b *Broker) Admitted(id ConsumerID) (bool, error) {
 	return c.admitted, nil
 }
 
+// lockEnact acquires b.mu for an enact, spinning briefly before
+// parking. A delta apply's critical section is single-digit
+// microseconds — shorter than a futex sleep/wake — and once waiters
+// park, sync.Mutex escalates sustained contention into starvation-mode
+// direct handoff, putting a scheduler wake-up on every subsequent
+// acquisition; enacts racing on a parked mutex lose a third of their
+// throughput to that latency. The spin is a bounded test-and-test-and-
+// set poll (TryLock fails with a plain load while the lock is held, so
+// spinners keep the state word shared instead of bouncing it), long
+// enough to outlast a delta apply but not a full rebuild, after which
+// the caller parks like anyone else.
+func (b *Broker) lockEnact() {
+	for i := 0; i < 512; i++ {
+		if b.mu.TryLock() {
+			return
+		}
+	}
+	b.mu.Lock()
+}
+
 // ApplyAllocation enacts an optimizer allocation: flow token buckets are
 // re-rated and each class admits (or unadmits) consumers to match n_j.
 // Admission is capped by the number of attached consumers; earlier
 // attachments are admitted first and the latest admitted are unadmitted
 // first when shrinking. The change becomes visible to publishers as one
 // atomic snapshot swap.
+//
+// The enact cost is proportional to the delta, not to broker size: flows
+// whose rate is unchanged keep their token buckets untouched, classes
+// whose admitted count is unchanged are skipped entirely, and the new
+// snapshot shares every clean flow's route slice with its predecessor
+// (see enact.go). An allocation identical to the enacted one publishes
+// no snapshot at all.
+//
+// The O(flows+classes) diff scan takes no lock at all — it streams the
+// atomic mirrors — so concurrent enacts scan in parallel and serialize
+// only on the O(delta) application. The scan's result is validated
+// under the lock by replaying the mirror mutation journal — only the
+// entries recorded since the scan's generation snapshot — so the apply
+// phase never trusts a stale candidate and never misses a change that
+// landed mid-scan.
 func (b *Broker) ApplyAllocation(a model.Allocation) error {
 	if len(a.Rates) != len(b.p.Flows) || len(a.Consumers) != len(b.p.Classes) {
 		return fmt.Errorf("broker: allocation shape %d/%d, want %d/%d",
 			len(a.Rates), len(a.Consumers), len(b.p.Flows), len(b.p.Classes))
 	}
 	now := b.now()
-	b.mu.Lock()
-	defer b.mu.Unlock()
+	start := b.enactStartNanos()
+
+	// Phase A: optimistic lock-free diff against the atomic mirrors.
+	// Candidate indices land in stack buffers so a small delta allocates
+	// nothing here. The generation snapshot must be loaded before the
+	// mirror reads: sequential consistency then guarantees any mirror
+	// write the scan misses was journaled at a generation >= g0.
+	var rateBuf, classBuf [32]int32
+	rateIdx, classIdx := rateBuf[:0], classBuf[:0]
+	g0 := b.mutGen.Load()
 	for i, r := range a.Rates {
-		b.flows[i].bucket.SetRate(r, now)
-		b.flows[i].setRate(r)
+		if math.Float64frombits(b.enactedRates[i].Load()) != r {
+			rateIdx = append(rateIdx, int32(i))
+		}
 	}
 	for j, want := range a.Consumers {
-		cs := &b.classes[j]
-		if want > len(cs.consumers) {
-			want = len(cs.consumers)
+		if b.classWantsChange(j, want) {
+			classIdx = append(classIdx, int32(j))
+		}
+	}
+
+	// Phase B: apply the delta under the lock.
+	b.lockEnact()
+	defer b.mu.Unlock()
+	if gen := b.mutGen.Load(); gen-g0 > mutLogSize {
+		// The scan fell further behind than the journal remembers
+		// (possible only under extreme churn): rescan authoritatively.
+		rateIdx, classIdx = rateIdx[:0], classIdx[:0]
+		for i, r := range a.Rates {
+			if math.Float64frombits(b.enactedRates[i].Load()) != r {
+				rateIdx = append(rateIdx, int32(i))
+			}
+		}
+		for j, want := range a.Consumers {
+			if b.classWantsChange(j, want) {
+				classIdx = append(classIdx, int32(j))
+			}
+		}
+	} else {
+		// Replay every mutation journaled since the scan. Duplicated
+		// candidates are harmless — the apply loops re-verify each one.
+		for g := g0; g != gen; g++ {
+			e := b.mutLog[g%mutLogSize]
+			idx := int32(e &^ mutClassBit)
+			if e&mutClassBit != 0 {
+				if b.classWantsChange(int(idx), a.Consumers[idx]) {
+					classIdx = append(classIdx, idx)
+				}
+			} else if math.Float64frombits(b.enactedRates[idx].Load()) != a.Rates[idx] {
+				rateIdx = append(rateIdx, idx)
+			}
+		}
+	}
+	rates := 0
+	for _, i := range rateIdx {
+		r := a.Rates[i]
+		if math.Float64frombits(b.enactedRates[i].Load()) == r {
+			// Candidate went stale between scan and apply. Skipping a
+			// same-rate SetRate is also what keeps re-enacts transcript-
+			// identical: token-bucket refill is associative (a min-
+			// clamped linear ramp), so not touching the bucket leaves
+			// every future admission decision bit-identical.
+			continue
+		}
+		f := &b.flows[i]
+		f.bucket.SetRate(r, now)
+		f.setRate(r)
+		b.enactedRates[i].Store(math.Float64bits(r))
+		b.journalLocked(uint64(i))
+		rates++
+	}
+	classes := 0
+	for _, j := range classIdx {
+		want := a.Consumers[j]
+		if att := int(b.attachedCount[j].Load()); want > att {
+			want = att
 		}
 		if want < 0 {
 			want = 0
 		}
-		for k, c := range cs.consumers {
-			c.admitted = k < want
+		if want == int(b.admittedCount[j].Load()) {
+			// Stale candidate, or: the admitted set is always the first
+			// cs.admitted consumers in attach order (attach appends
+			// unadmitted; detach and the flips below preserve the
+			// prefix), so an equal count means identical membership.
+			continue
+		}
+		cs := &b.classes[j]
+		if want > cs.admitted {
+			for _, c := range cs.consumers[cs.admitted:want] {
+				c.admitted = true
+			}
+		} else {
+			for _, c := range cs.consumers[want:cs.admitted] {
+				c.admitted = false
+			}
 		}
 		cs.admitted = want
 		cs.counters.admitted.Store(int64(want))
+		b.admittedCount[j].Store(int32(want))
+		b.journalLocked(uint64(j) | mutClassBit)
+		b.dirtyClasses = append(b.dirtyClasses, model.ClassID(j))
+		classes++
 	}
-	b.rebuildRouteLocked()
+	mode, flows := b.republishLocked()
+	b.enactStats.Applies++
+	if classes == 0 && rates == 0 {
+		b.enactStats.NoopApplies++
+	}
+	b.observeEnactLocked(start, mode, classes, flows, rates)
 	b.tel.ObserveAllocation()
-	b.tel.ObserveConsumers(b.consumerTotalsLocked())
+	if classes != 0 && b.tel != nil {
+		b.tel.ObserveConsumers(b.consumerTotalsLocked())
+	}
 	return nil
 }
 
@@ -349,7 +576,7 @@ func (b *Broker) Publish(flow model.FlowID, attrs map[string]float64, body strin
 
 	work := uint64(1) // per-message routing work
 	delivered, filtered := 0, 0
-	routes := b.route.Load().byFlow[flow]
+	routes := b.route.Load().flowRoutes(flow)
 	for ri := range routes {
 		cr := &routes[ri]
 		if cr.thinner != nil && !cr.thinner.Allow(now) {
@@ -448,17 +675,27 @@ func (b *Broker) SetClassRateCap(class model.ClassID, rate float64) error {
 	now := b.now()
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	cs := &b.classes[class]
 	switch {
 	case rate <= 0:
-		b.classes[class].thinner = nil
-	case b.classes[class].thinner != nil:
+		if cs.thinner == nil {
+			// Removing a cap that was never installed changes nothing.
+			return nil
+		}
+		cs.thinner = nil
+	case cs.thinner != nil:
 		// Re-rating mutates the shared bucket in place; live snapshots
 		// pick the new rate up immediately, no rebuild needed.
-		b.classes[class].thinner.SetRate(rate, now)
+		cs.thinner.SetRate(rate, now)
 		return nil
 	default:
-		b.classes[class].thinner = NewTokenBucket(rate, 0, now)
+		cs.thinner = NewTokenBucket(rate, 0, now)
 	}
-	b.rebuildRouteLocked()
+	// Installing or removing the bucket changes the class's routing
+	// entry, which lives in exactly one flow's slice — republish just it.
+	start := b.enactStartNanos()
+	b.dirtyClasses = append(b.dirtyClasses, class)
+	mode, flows := b.republishLocked()
+	b.observeEnactLocked(start, mode, 1, flows, 0)
 	return nil
 }

@@ -30,6 +30,9 @@ type Controller struct {
 	enacted model.Allocation
 	cycles  int
 	skipped int
+	// statsBuf is the reusable AllClassStats buffer for demand sync,
+	// guarded by mu like the rest of the cycle state.
+	statsBuf []ClassStats
 }
 
 // ControllerConfig tunes a Controller. The zero value enacts every change
@@ -80,13 +83,12 @@ func (c *Controller) Reoptimize() (model.Allocation, bool, error) {
 	// Demand sync: each class's n^max becomes its attached-consumer
 	// count (consumers wanting service, per the problem definition). A
 	// class with no attached consumers keeps max 0 and is skipped by the
-	// greedy allocator.
+	// greedy allocator. One AllClassStats snapshot replaces the previous
+	// per-class ClassStats loop — with thousands of classes that loop
+	// was the controller's dominant cost before the solve even started.
 	p := c.b.Problem()
-	for j := range p.Classes {
-		stats, err := c.b.ClassStats(model.ClassID(j))
-		if err != nil {
-			return model.Allocation{}, false, err
-		}
+	c.statsBuf = c.b.AllClassStats(c.statsBuf)
+	for j, stats := range c.statsBuf {
 		p.Classes[j].MaxConsumers = stats.Attached
 	}
 
@@ -107,21 +109,32 @@ func (c *Controller) Reoptimize() (model.Allocation, bool, error) {
 // worthEnacting applies the relative-change threshold against the last
 // enacted allocation.
 func (c *Controller) worthEnacting(a model.Allocation) bool {
-	for i, r := range a.Rates {
-		prev := c.enacted.Rates[i]
-		if relChange(prev, r) >= c.enactThreshold {
-			return true
-		}
-	}
-	for j, n := range a.Consumers {
-		prev := c.enacted.Consumers[j]
-		if relChange(float64(prev), float64(n)) >= c.enactThreshold {
-			return true
-		}
-	}
-	return false
+	return maxRelChange(c.enacted, a) >= c.enactThreshold
 }
 
+// maxRelChange returns the largest relative change of any rate or
+// admitted population between two same-shape allocations — the value the
+// enactment threshold compares against, shared by the Controller and the
+// Autopilot.
+func maxRelChange(prev, next model.Allocation) float64 {
+	var worst float64
+	for i, r := range next.Rates {
+		if d := relChange(prev.Rates[i], r); d > worst {
+			worst = d
+		}
+	}
+	for j, n := range next.Consumers {
+		if d := relChange(float64(prev.Consumers[j]), float64(n)); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// relChange is the symmetric relative difference |next-prev| / max(|prev|,
+// |next|): 0 for equal values (including 0→0, where the naive ratio is
+// 0/0) and 1 for any change away from or to a zero baseline — so a class
+// going 0→1 consumers always crosses any threshold ≤ 1.
 func relChange(prev, next float64) float64 {
 	if prev == next {
 		return 0

@@ -1,0 +1,181 @@
+package broker
+
+import (
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// This file holds the incremental enact path: the machinery that makes a
+// control-plane change cost proportional to what it changed instead of to
+// broker size.
+//
+// Every control operation that can alter admitted membership (attach
+// never does; detach, ApplyAllocation and SetClassRateCap can) appends
+// the classes it dirtied to b.dirtyClasses and then calls
+// republishLocked, which picks one of three outcomes:
+//
+//   - route noop: no class's deliverable membership moved, so the
+//     previous snapshot stays published. A rate-only ApplyAllocation
+//     lands here — token buckets are re-rated in place and nothing swaps.
+//   - incremental: the top-level block-pointer array is copied, dirty
+//     blocks are cloned (one slice-header memcpy per routeBlockSize
+//     flows), and only the dirty flows' route slices are rebuilt; every
+//     clean block — and every clean flow's slice inside a cloned block —
+//     is shared, by reference, with the predecessor snapshot. Safe
+//     because snapshots are immutable after publication.
+//   - full rebuild: when the dirty flows are a large fraction of all
+//     flows, patching would cost more than rebuilding, so the classic
+//     full build runs instead.
+//
+// The published per-flow slices themselves are never pooled or reused:
+// the data plane reads snapshots lock-free with no grace period, so a
+// recycled backing array could be observed mid-overwrite. Reuse is
+// confined to control-plane scratch (dirtyClasses, dirtyFlows, the
+// epoch-marked flowMark) where the mutex makes it safe.
+
+// EnactStats is the cumulative accounting of the enact path, one counter
+// set per broker. Applies counts ApplyAllocation calls; NoopApplies the
+// subset that changed no rate and no membership. The Route* counters
+// classify every republish decision (allocations, detaches and rate-cap
+// changes alike) by outcome; ClassesTouched, FlowsTouched and
+// RatesChanged total the per-operation deltas.
+type EnactStats struct {
+	Applies           uint64
+	NoopApplies       uint64
+	RouteNoops        uint64
+	RouteIncrementals uint64
+	RouteFulls        uint64
+	ClassesTouched    uint64
+	FlowsTouched      uint64
+	RatesChanged      uint64
+}
+
+// EnactStats returns a copy of the broker's cumulative enact accounting.
+func (b *Broker) EnactStats() EnactStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.enactStats
+}
+
+type enactTelemetryOption struct {
+	m *telemetry.EnactMetrics
+}
+
+func (o enactTelemetryOption) apply(b *Broker) { b.enactTel = o.m }
+
+// WithEnactTelemetry mirrors the enact path's accounting into m (see
+// telemetry.NewEnactMetrics): per-operation wall time, route-build
+// outcome, and touch counts. A nil handle is valid and leaves the enact
+// path uninstrumented.
+func WithEnactTelemetry(m *telemetry.EnactMetrics) Option {
+	return enactTelemetryOption{m: m}
+}
+
+// AllClassStats returns a snapshot of every class's delivery-side
+// counters in one call, appending into dst (reused when capacity
+// suffices) and returning it. Served from atomics like ClassStats —
+// never takes the broker mutex, never stalls publishers — so a
+// controller syncing demand for thousands of classes pays no per-class
+// locking. Within one class the fields are individually exact; across
+// classes the snapshot is not atomic, same as any multi-counter scrape.
+func (b *Broker) AllClassStats(dst []ClassStats) []ClassStats {
+	if cap(dst) < len(b.classes) {
+		dst = make([]ClassStats, len(b.classes))
+	} else {
+		dst = dst[:len(b.classes)]
+	}
+	for j := range b.classes {
+		cc := &b.classes[j].counters
+		dst[j] = ClassStats{
+			Attached:  int(cc.attached.Load()),
+			Admitted:  int(cc.admitted.Load()),
+			Delivered: cc.delivered.Load(),
+			Filtered:  cc.filtered.Load(),
+			Thinned:   cc.thinned.Load(),
+		}
+	}
+	return dst
+}
+
+// republishLocked publishes the route-snapshot consequence of the dirty
+// classes accumulated since the last republish, consuming b.dirtyClasses.
+// Callers must hold b.mu. Returns the telemetry.EnactRoute* outcome and
+// the number of flows whose route slice was rebuilt.
+func (b *Broker) republishLocked() (mode, flowsTouched int) {
+	if len(b.dirtyClasses) == 0 {
+		return telemetry.EnactRouteNoop, 0
+	}
+	// Map dirty classes to their flows, deduplicating with the epoch
+	// marker so several dirty classes of one flow rebuild it once. The
+	// epoch bump replaces clearing flowMark, keeping the noop and
+	// small-delta paths O(delta) rather than O(flows).
+	b.markEpoch++
+	b.dirtyFlows = b.dirtyFlows[:0]
+	for _, cid := range b.dirtyClasses {
+		fid := b.p.Classes[cid].Flow
+		if b.flowMark[fid] != b.markEpoch {
+			b.flowMark[fid] = b.markEpoch
+			b.dirtyFlows = append(b.dirtyFlows, fid)
+		}
+	}
+	b.dirtyClasses = b.dirtyClasses[:0]
+	if len(b.dirtyFlows)*4 > len(b.p.Flows) {
+		// Wide delta: patching would allocate and copy nearly as much as
+		// rebuilding, so take the simple path (it also keeps the small-
+		// broker case — a handful of flows — on one code path).
+		b.rebuildRouteLocked()
+		return telemetry.EnactRouteFull, len(b.p.Flows)
+	}
+	old := b.route.Load()
+	blocks := make([][][]classRoute, len(old.blocks))
+	copy(blocks, old.blocks)
+	for _, fid := range b.dirtyFlows {
+		k := int(fid) >> routeBlockBits
+		if b.blockMark[k] != b.markEpoch {
+			// First dirty flow in this block: clone it (the markEpoch bump
+			// above doubles as the per-republish block dedup).
+			b.blockMark[k] = b.markEpoch
+			nb := make([][]classRoute, len(old.blocks[k]))
+			copy(nb, old.blocks[k])
+			blocks[k] = nb
+		}
+		blocks[k][int(fid)&routeBlockMask] = b.buildFlowRoutesLocked(fid)
+	}
+	b.route.Store(&routeTable{blocks: blocks})
+	return telemetry.EnactRouteIncremental, len(b.dirtyFlows)
+}
+
+// observeEnactLocked folds one control operation's enact outcome into the
+// cumulative EnactStats and, when enact telemetry is attached, records
+// its wall time and touch counts. startNanos is time.Now().UnixNano()
+// captured at operation entry when telemetry is attached, 0 otherwise
+// (the uninstrumented path never reads the real clock). Callers must
+// hold b.mu.
+func (b *Broker) observeEnactLocked(startNanos int64, mode, classes, flows, rates int) {
+	s := &b.enactStats
+	switch mode {
+	case telemetry.EnactRouteNoop:
+		s.RouteNoops++
+	case telemetry.EnactRouteIncremental:
+		s.RouteIncrementals++
+	case telemetry.EnactRouteFull:
+		s.RouteFulls++
+	}
+	s.ClassesTouched += uint64(classes)
+	s.FlowsTouched += uint64(flows)
+	s.RatesChanged += uint64(rates)
+	if b.enactTel != nil {
+		b.enactTel.ObserveApply(time.Now().UnixNano()-startNanos, mode, classes, flows, rates)
+	}
+}
+
+// enactStartNanos captures the wall-clock start of an enact, but only
+// when telemetry wants it. enactTel is immutable after New, so callers
+// may invoke this before taking b.mu.
+func (b *Broker) enactStartNanos() int64 {
+	if b.enactTel == nil {
+		return 0
+	}
+	return time.Now().UnixNano()
+}

@@ -104,8 +104,11 @@ func TestPublishStressConcurrent(t *testing.T) {
 	// consumer per class while publishers run. Transient consumers are
 	// never admitted (admission stays at the stable 4, which attach-order
 	// precedence pins to the stable population), so the delivery
-	// assertions below stay exact while the snapshot is rebuilt
-	// constantly.
+	// assertions below stay exact. The incremental enact path makes the
+	// re-enact and the never-admitted churn route no-ops (no snapshot
+	// swap), so the loop also toggles a rate cap on the annotated class —
+	// far above the offered load, so it never thins — to keep incremental
+	// snapshot swaps racing the publishers throughout the run.
 	churnWG.Add(1)
 	go func() {
 		defer churnWG.Done()
@@ -133,6 +136,14 @@ func TestPublishStressConcurrent(t *testing.T) {
 					t.Error(err)
 					return
 				}
+			}
+			if err := b.SetClassRateCap(model.ClassID(flows), 1e9); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := b.SetClassRateCap(model.ClassID(flows), 0); err != nil {
+				t.Error(err)
+				return
 			}
 		}
 	}()

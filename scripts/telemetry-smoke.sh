@@ -6,7 +6,9 @@
 # families are present and non-zero, checks /debug/pprof and /snapshot,
 # and fails loudly otherwise. A second phase reruns the broker with
 # -optimizer dist and asserts the lrgp_dist_* families, then feeds the
-# -dist-events flight-recorder log through lrgp-trace. Run via
+# -dist-events flight-recorder log through lrgp-trace. A third phase
+# reruns with -autopilot and asserts the lrgp_enact_* families, including
+# at least one enacted re-optimization cycle. Run via
 # `make telemetry-smoke`; CI runs it with RACE=1.
 set -euo pipefail
 
@@ -162,4 +164,55 @@ for table in "== round timeline ==" "== stragglers" "== loss hotspots" "== effec
     fi
 done
 
-echo "telemetry-smoke: OK (colocated + dist metric families, flight recorder, lrgp-trace)"
+# Phase 3: the autopilot loop under churn. Enacted cycles accumulate
+# from the first interval, so we poll for a non-zero enacted counter and
+# then assert every lrgp_enact_* family in the same scrape.
+"${BIN}" -telemetry-addr "${ADDR}" -autopilot -autopilot-seconds 30 \
+    >"${OUT}" 2>&1 &
+BROKER_PID=$!
+
+echo "telemetry-smoke: waiting for enacted autopilot cycles on ${ADDR}"
+deadline=$((SECONDS + 60))
+while :; do
+    if ! kill -0 "${BROKER_PID}" 2>/dev/null; then
+        echo "telemetry-smoke: autopilot lrgp-broker exited early:" >&2
+        cat "${OUT}" >&2
+        exit 1
+    fi
+    if metrics="$(fetch /metrics 2>/dev/null)" \
+        && grep -Eq '^lrgp_enact_cycles_total\{result="enacted"\} [1-9]' <<<"${metrics}"; then
+        break
+    fi
+    if [ "${SECONDS}" -ge "${deadline}" ]; then
+        echo "telemetry-smoke: no autopilot cycle ever enacted; last scrape:" >&2
+        echo "${metrics:-<no response>}" >&2
+        cat "${OUT}" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+for family in \
+    'lrgp_enact_apply_seconds_bucket{le=' \
+    'lrgp_enact_route_builds_total{mode="noop"}' \
+    'lrgp_enact_route_builds_total{mode="incremental"}' \
+    'lrgp_enact_route_builds_total{mode="full"}' \
+    lrgp_enact_classes_touched_total \
+    lrgp_enact_flows_touched_total \
+    lrgp_enact_rates_changed_total \
+    'lrgp_enact_cycles_total{result="skipped"}' \
+    'lrgp_enact_cycle_seconds_bucket{le=' \
+    lrgp_enact_allocation_delta \
+    lrgp_enact_oscillation \
+    lrgp_enact_demand_consumers; do
+    if ! grep -Fq "${family}" <<<"${metrics}"; then
+        echo "telemetry-smoke: /metrics missing ${family}" >&2
+        exit 1
+    fi
+done
+
+kill "${BROKER_PID}" 2>/dev/null || true
+wait "${BROKER_PID}" 2>/dev/null || true
+BROKER_PID=
+
+echo "telemetry-smoke: OK (colocated + dist metric families, flight recorder, lrgp-trace, autopilot enact families)"
