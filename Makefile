@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover bench bench-core bench-broker bench-dist bench-scaling fuzz experiments examples telemetry-smoke trace-analyze clean
+.PHONY: all build vet lint test race cover bench bench-core bench-broker bench-dist bench-overlay bench-scaling fuzz experiments examples telemetry-smoke trace-analyze clean
 
 all: build vet lint test
 
@@ -58,6 +58,14 @@ bench-dist:
 	$(GO) test -run='^$$' -bench='DistWire|DistBatch|DistStaleness|SyncRound|Message' -benchmem \
 		./internal/dist/ ./internal/transport/ \
 		| $(GO) run ./cmd/lrgp-benchjson -out BENCH_dist.json
+
+# Overlay re-optimization benchmarks recorded as JSON: tree repair
+# (kill + restore cycle, allocation-bounded), the full warm path per
+# failure event (repair + ResetRouting + re-solve) and the cold-rebuild
+# baseline it is judged against, all on the 10k-node pod topology.
+bench-overlay:
+	$(GO) test -run='^$$' -bench='TreeRepair|WarmResolve|ColdResolve' -benchmem ./internal/overlay/ \
+		| $(GO) run ./cmd/lrgp-benchjson -out BENCH_overlay.json
 
 # Scaling-regression gate: workers=8 must beat workers=1 by >= 1.5x on
 # the metro-small benchmark (skips loudly on hosts with < 4 CPUs).

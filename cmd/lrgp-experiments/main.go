@@ -4,9 +4,14 @@
 //
 // Usage:
 //
-//	lrgp-experiments [-run all|fig1|fig2|fig3|fig4|table2|table3|async|ablation|links|prune|overhead|gamma|multirate|sweep|scaling]
+//	lrgp-experiments [-run all|fig1|fig2|fig3|fig4|table2|table3|async|ablation|links|prune|overhead|gamma|multirate|sweep|scaling|churn]
 //	                 [-iters 250] [-sa-steps 1000000] [-seed 1] [-workers 0]
 //	                 [-workload metro-small] [-csv] [-chart] [-trace-out run.jsonl]
+//	                 [-topo-nodes 10000] [-fail-every 400] [-fail-kind link|node] [-short]
+//
+// The churn-specific flags size the X11 rolling-failure experiment:
+// -topo-nodes the overlay, -fail-every the iteration budget between
+// failures, -fail-kind what dies. -short shrinks X11 to a CI-sized run.
 //
 // -trace-out records a structured JSONL iteration trace (one
 // telemetry.IterationRecord per line: rates, consumer populations,
@@ -38,7 +43,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("lrgp-experiments", flag.ContinueOnError)
 	var (
-		runSpec  = fs.String("run", "all", "experiments to run (comma-separated): all, fig1, fig2, fig3, fig4, table2, table3, async, ablation, links, prune, overhead, gamma, multirate, sweep, scaling")
+		runSpec  = fs.String("run", "all", "experiments to run (comma-separated): all, fig1, fig2, fig3, fig4, table2, table3, async, ablation, links, prune, overhead, gamma, multirate, sweep, scaling, churn")
 		iters    = fs.Int("iters", 250, "LRGP iterations per run")
 		saSteps  = fs.Int("sa-steps", 1_000_000, "full-state annealing steps per start temperature")
 		seed     = fs.Int64("seed", 1, "random seed for stochastic baselines")
@@ -48,6 +53,11 @@ func run(args []string, out io.Writer) error {
 		markdown = fs.Bool("markdown", false, "emit tables as GitHub-flavored Markdown")
 		chart    = fs.Bool("chart", true, "draw ASCII charts for figures")
 		traceOut = fs.String("trace-out", "", "record a JSONL iteration trace of a base-workload run to this file (use with -run none to record only the trace)")
+
+		topoNodes = fs.Int("topo-nodes", 0, "X11 churn: overlay size (default 10000)")
+		failEvery = fs.Int("fail-every", 0, "X11 churn: iteration budget between failure events (default 400)")
+		failKind  = fs.String("fail-kind", "link", "X11 churn: what fails, link or node")
+		short     = fs.Bool("short", false, "shrink the churn experiment to a CI-sized run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -221,6 +231,35 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		emitTable(experiments.RenderDistRuntime(rt))
+	}
+	if selected("churn") {
+		if *failKind != "link" && *failKind != "node" {
+			return fmt.Errorf("-fail-kind %q: want link or node", *failKind)
+		}
+		cc := experiments.ChurnConfig{
+			TopoNodes: *topoNodes,
+			FailEvery: *failEvery,
+			FailKind:  *failKind,
+		}
+		if *short {
+			// CI-sized: a few hundred nodes, few events, short budgets.
+			if cc.TopoNodes == 0 {
+				cc.TopoNodes = 400
+			}
+			if cc.FailEvery == 0 {
+				cc.FailEvery = 200
+			}
+			cc.Flows = 8
+			cc.Events = 4
+			cc.ColdBudget = 1200
+		}
+		res, err := experiments.ChurnExperiment(opts, cc)
+		if err != nil {
+			return err
+		}
+		emitTable(experiments.RenderChurn(res))
+		fmt.Fprintf(out, "  base solve: %d iterations to utility %.0f; churn handled %.1fx faster warm than cold\n\n",
+			res.BaseIters, res.BaseUtility, res.Speedup)
 	}
 	if selected("links") {
 		res, err := experiments.LinkBottleneckExperiment(opts, 0)

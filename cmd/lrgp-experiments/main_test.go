@@ -126,6 +126,26 @@ func TestRunTraceOut(t *testing.T) {
 	}
 }
 
+// TestRunChurnExperiment: `-run churn -short` is the CI-sized X11 run —
+// a few hundred nodes, four alternating fail/heal events — and must
+// report the per-event table plus the warm-vs-cold summary line.
+func TestRunChurnExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "churn", "-short"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "X11: rolling link failures") {
+		t.Errorf("missing churn table:\n%s", s)
+	}
+	if !strings.Contains(s, "churn handled") {
+		t.Errorf("missing warm-vs-cold summary:\n%s", s)
+	}
+	if err := run([]string{"-run", "churn", "-short", "-fail-kind", "bogus"}, &out); err == nil {
+		t.Error("bad -fail-kind accepted")
+	}
+}
+
 func TestRunUnknownFlag(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-bogus"}, &out); err == nil {

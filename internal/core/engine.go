@@ -63,7 +63,8 @@ type Engine struct {
 	shards int
 	// plan is the crossing-writes analysis result; fused selects the
 	// single-barrier Step path (see stagePlan). Both are fixed at NewEngine
-	// because Reset preserves topology.
+	// — Reset preserves topology — and rebuilt only by ResetRouting, which
+	// changes it.
 	plan  *stagePlan
 	fused bool
 	// closed is set by Close; stepping a closed engine panics
@@ -1006,6 +1007,61 @@ func (e *Engine) Reset(p *model.Problem) error {
 	if err := e.ix.Refresh(p); err != nil {
 		return fmt.Errorf("core: %w", err)
 	}
+	e.warmRestart(p)
+	return nil
+}
+
+// ResetRouting is Reset for problems whose routing moved: the member sets
+// (flows, nodes, links, classes and class attachments) must be unchanged,
+// but dirty elements named by d may have gained or lost (resource, flow)
+// cost entries — the shape Refresh rejects. The index is re-targeted
+// incrementally (model.Index.RefreshRouting, cost proportional to the
+// delta) and, unlike Reset, the stage plan is rebuilt: routing defines
+// which flows share resources, so the crossing-writes analysis fixed at
+// NewEngine no longer holds. Warm state carries over exactly as in Reset.
+// On an index error the engine still runs the old problem; plan rebuild
+// happens only after the index committed.
+func (e *Engine) ResetRouting(p *model.Problem, d model.RoutingDelta) error {
+	if e.closed {
+		panic("core: Engine.ResetRouting called after Close")
+	}
+	if err := model.Validate(p); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if err := e.ix.RefreshRouting(p, d); err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	if e.shards > 1 {
+		e.plan = newStagePlan(p, e.ix, e.shards)
+		e.fused = e.plan.fused
+	}
+	if e.cfg.Adaptive {
+		// Re-routing changes the load composition on every node a dirty
+		// flow now crosses, not just the nodes whose membership changed:
+		// a node that keeps flow i but sees i's detoured traffic at a new
+		// rate is tuned for gone conditions too, and a stepsize adapted
+		// deep into an equilibrium dead band can sustain a limit cycle
+		// the fresh heuristic would damp. Restart the controllers on the
+		// damage footprint (reseed is idempotent; untouched nodes keep
+		// their tuning, preserving warm-start locality).
+		for _, b := range d.Nodes {
+			e.gamma.reseed(int(b))
+		}
+		for _, i := range d.Flows {
+			for _, b := range e.ix.NodesByFlow(i) {
+				e.gamma.reseed(int(b))
+			}
+		}
+	}
+	e.warmRestart(p)
+	return nil
+}
+
+// warmRestart is the shared tail of Reset and ResetRouting: re-targets
+// solvers at p, clamps the carried-over rates and populations into p's
+// bounds, and restarts the incremental machinery so the first Step
+// recomputes everything.
+func (e *Engine) warmRestart(p *model.Problem) {
 	e.p = p
 	for i := range e.solvers {
 		e.solvers[i].bind(p)
@@ -1053,7 +1109,6 @@ func (e *Engine) Reset(p *model.Problem) error {
 		}
 		e.touchIDs[s] = e.touchIDs[s][:0]
 	}
-	return nil
 }
 
 // Iteration returns the number of completed iterations.

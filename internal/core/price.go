@@ -115,6 +115,7 @@ type gammaBank struct {
 	sameRun  []int32
 	havePrev []bool
 
+	init     float64
 	min, max float64
 	step     float64
 	deadband float64
@@ -130,6 +131,7 @@ func newGammaBank(cfg Config, n int) *gammaBank {
 		prevGap:  make([]float64, n),
 		sameRun:  make([]int32, n),
 		havePrev: make([]bool, n),
+		init:     proto.gamma,
 		min:      proto.min,
 		max:      proto.max,
 		step:     proto.step,
@@ -140,6 +142,19 @@ func newGammaBank(cfg Config, n int) *gammaBank {
 		g.val[b] = proto.gamma
 	}
 	return g
+}
+
+// reseed returns node b's controller to its initial state. A routing
+// change rewrites the node's flow membership, so the stepsize adapted to
+// the old local problem — possibly deep in an equilibrium dead band — is
+// no longer evidence about the new one; starting the heuristic over
+// avoids inheriting a gamma that sustains a limit cycle the fresh
+// controller would have damped.
+func (g *gammaBank) reseed(b int) {
+	g.val[b] = g.init
+	g.prevGap[b] = 0
+	g.sameRun[b] = 0
+	g.havePrev[b] = false
 }
 
 // observe folds one observation into node b's controller state.

@@ -1,0 +1,223 @@
+package model
+
+import (
+	"fmt"
+	"slices"
+)
+
+// RoutingDelta names the parts of a problem whose routing changed since an
+// Index last saw it: the flows whose dissemination trees moved, and every
+// node and link whose FlowCost map gained or lost an entry (listing
+// unchanged elements is harmless — they rebuild to identical views).
+// Overlay repairs produce deltas (overlay.Router.TakeDelta); RefreshRouting
+// consumes them.
+type RoutingDelta struct {
+	Flows []FlowID
+	Nodes []NodeID
+	Links []LinkID
+}
+
+// Empty reports whether the delta names nothing.
+func (d RoutingDelta) Empty() bool {
+	return len(d.Flows) == 0 && len(d.Nodes) == 0 && len(d.Links) == 0
+}
+
+// RefreshRouting re-targets the index at p after a routing change confined
+// to d: membership lists and cost views are rebuilt for exactly the dirty
+// flows/nodes/links, everything else keeps its slices (so views handed out
+// for untouched elements remain valid and shared). It generalizes Refresh,
+// which requires identical cost-map sparsity: here dirty elements may gain
+// and lose (resource, flow) pairs, as long as the member sets themselves —
+// flow, node, link and class counts, and every class's (flow, node)
+// attachment — are unchanged.
+//
+// The delta must be complete: a node or link whose FlowCost changed but is
+// not listed keeps a stale view. Membership changes at dirty elements must
+// involve dirty flows only; RefreshRouting verifies this and reports the
+// first violation without mutating anything it has not already rebuilt
+// (dirty-element views may be partially rebuilt on error — treat an error
+// as fatal to the index). Cost values of clean elements must be unchanged
+// (RefreshRouting does not re-read them; use Refresh for value-only
+// changes). It must not run concurrently with readers.
+func (ix *Index) RefreshRouting(p *Problem, d RoutingDelta) error {
+	old := ix.p
+	switch {
+	case len(p.Flows) != len(old.Flows):
+		return fmt.Errorf("model: refresh-routing: flow count %d != %d", len(p.Flows), len(old.Flows))
+	case len(p.Nodes) != len(old.Nodes):
+		return fmt.Errorf("model: refresh-routing: node count %d != %d", len(p.Nodes), len(old.Nodes))
+	case len(p.Links) != len(old.Links):
+		return fmt.Errorf("model: refresh-routing: link count %d != %d", len(p.Links), len(old.Links))
+	case len(p.Classes) != len(old.Classes):
+		return fmt.Errorf("model: refresh-routing: class count %d != %d", len(p.Classes), len(old.Classes))
+	}
+	for j := range p.Classes {
+		c, oc := &p.Classes[j], &old.Classes[j]
+		if c.Flow != oc.Flow || c.Node != oc.Node {
+			return fmt.Errorf("model: refresh-routing: class %d moved (flow %d→%d, node %d→%d)",
+				j, oc.Flow, c.Flow, oc.Node, c.Node)
+		}
+	}
+	for _, i := range d.Flows {
+		if i < 0 || int(i) >= len(p.Flows) {
+			return fmt.Errorf("model: refresh-routing: dirty flow %d out of range", i)
+		}
+	}
+
+	// Sorted, deduplicated dirty sets. The flow mark set doubles as the
+	// membership-change guard below.
+	dirtyNodes := sortedDedup(d.Nodes)
+	dirtyLinks := sortedDedup(d.Links)
+	dirtyFlow := make(map[FlowID]bool, len(d.Flows))
+	for _, i := range d.Flows {
+		dirtyFlow[i] = true
+	}
+
+	// Resource side: rebuild each dirty node's and link's membership list
+	// and cost view from its map, guarding that any flow entering or
+	// leaving is a dirty flow.
+	for _, b := range dirtyNodes {
+		if b < 0 || int(b) >= len(p.Nodes) {
+			return fmt.Errorf("model: refresh-routing: dirty node %d out of range", b)
+		}
+		flows, costs, err := rebuildMembership(p.Nodes[b].FlowCost, ix.flowsByNode[b], dirtyFlow,
+			func(i FlowID) string { return fmt.Sprintf("node %d flow %d", b, i) })
+		if err != nil {
+			return err
+		}
+		ix.flowsByNode[b], ix.flowCostByNode[b] = flows, costs
+	}
+	for _, l := range dirtyLinks {
+		if l < 0 || int(l) >= len(p.Links) {
+			return fmt.Errorf("model: refresh-routing: dirty link %d out of range", l)
+		}
+		flows, costs, err := rebuildMembership(p.Links[l].FlowCost, ix.flowsByLink[l], dirtyFlow,
+			func(i FlowID) string { return fmt.Sprintf("link %d flow %d", l, i) })
+		if err != nil {
+			return err
+		}
+		ix.flowsByLink[l], ix.flowCostByLink[l] = flows, costs
+	}
+
+	// Flow side: a dirty flow's node (and link) list changes only at dirty
+	// nodes (links), so the new list is the old one with dirty elements
+	// filtered out, merged with the dirty elements that now carry the flow.
+	// Both streams are ascending, so the merge preserves the index's
+	// ordering invariant.
+	nodeDirtyAt := func(b NodeID) bool {
+		_, ok := slices.BinarySearch(dirtyNodes, b)
+		return ok
+	}
+	linkDirtyAt := func(l LinkID) bool {
+		_, ok := slices.BinarySearch(dirtyLinks, l)
+		return ok
+	}
+	for _, i := range d.Flows {
+		fid := i
+		nodes := mergeMembership(ix.nodesByFlow[i], dirtyNodes, nodeDirtyAt,
+			func(b NodeID) bool { _, ok := p.Nodes[b].FlowCost[fid]; return ok })
+		ncosts := make([]float64, len(nodes))
+		for k, b := range nodes {
+			ncosts[k] = p.Nodes[b].FlowCost[fid]
+		}
+		links := mergeMembership(ix.linksByFlow[i], dirtyLinks, linkDirtyAt,
+			func(l LinkID) bool { _, ok := p.Links[l].FlowCost[fid]; return ok })
+		lcosts := make([]float64, len(links))
+		for k, l := range links {
+			lcosts[k] = p.Links[l].FlowCost[fid]
+		}
+
+		// Classes stay attached where they were; ones whose node left the
+		// tree drop out of the per-node lists. Only a class with zero
+		// demand may be detached from its flow's tree (Validate enforces
+		// it problem-wide; the check here catches it at the source).
+		lists := make([][]ClassID, len(nodes))
+		for _, cid := range ix.classesByFlow[i] {
+			k, ok := slices.BinarySearch(nodes, p.Classes[cid].Node)
+			if ok {
+				lists[k] = append(lists[k], cid)
+			} else if p.Classes[cid].MaxConsumers > 0 {
+				return fmt.Errorf("model: refresh-routing: class %d (demand %d) at node %d detached from flow %d's tree",
+					cid, p.Classes[cid].MaxConsumers, p.Classes[cid].Node, i)
+			}
+		}
+
+		ix.nodesByFlow[i], ix.nodeCostByFlow[i] = nodes, ncosts
+		ix.linksByFlow[i], ix.linkCostByFlow[i] = links, lcosts
+		ix.classesByFlowNode[i] = lists
+	}
+	ix.p = p
+	return nil
+}
+
+// rebuildMembership rebuilds one resource's (flows, costs) view from its
+// cost map, verifying every membership change against the dirty-flow set.
+func rebuildMembership(costMap map[FlowID]float64, oldFlows []FlowID, dirtyFlow map[FlowID]bool, what func(FlowID) string) ([]FlowID, []float64, error) {
+	flows := make([]FlowID, 0, len(costMap))
+	for i := range costMap {
+		flows = append(flows, i)
+	}
+	slices.Sort(flows)
+	// Two-pointer walk: a flow present in exactly one of (old, new) is a
+	// membership change and must be dirty.
+	a, b := 0, 0
+	for a < len(oldFlows) || b < len(flows) {
+		switch {
+		case b >= len(flows) || (a < len(oldFlows) && oldFlows[a] < flows[b]):
+			if !dirtyFlow[oldFlows[a]] {
+				return nil, nil, fmt.Errorf("model: refresh-routing: %s left but flow not in delta", what(oldFlows[a]))
+			}
+			a++
+		case a >= len(oldFlows) || flows[b] < oldFlows[a]:
+			if !dirtyFlow[flows[b]] {
+				return nil, nil, fmt.Errorf("model: refresh-routing: %s appeared but flow not in delta", what(flows[b]))
+			}
+			b++
+		default:
+			a++
+			b++
+		}
+	}
+	costs := make([]float64, len(flows))
+	for k, i := range flows {
+		costs[k] = costMap[i]
+	}
+	return flows, costs, nil
+}
+
+// mergeMembership merges the clean part of a flow's old membership list
+// (old entries at non-dirty elements) with the dirty elements that carry
+// the flow now. Both inputs ascending; output ascending.
+func mergeMembership[T ~int](old []T, dirty []T, isDirty func(T) bool, hasFlow func(T) bool) []T {
+	out := make([]T, 0, len(old)+len(dirty))
+	a, b := 0, 0
+	for a < len(old) || b < len(dirty) {
+		// Advance past dirty old entries (they re-qualify via the dirty
+		// stream) and dirty elements without the flow.
+		if a < len(old) && isDirty(old[a]) {
+			a++
+			continue
+		}
+		if b < len(dirty) && !hasFlow(dirty[b]) {
+			b++
+			continue
+		}
+		switch {
+		case a >= len(old) && b >= len(dirty):
+			return out
+		case b >= len(dirty) || (a < len(old) && old[a] < dirty[b]):
+			out = append(out, old[a])
+			a++
+		default:
+			out = append(out, dirty[b])
+			b++
+		}
+	}
+	return out
+}
+
+func sortedDedup[T ~int](in []T) []T {
+	out := slices.Clone(in)
+	slices.Sort(out)
+	return slices.Compact(out)
+}

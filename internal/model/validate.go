@@ -62,7 +62,11 @@ func Validate(p *Problem) error {
 		if c.Utility == nil {
 			return fmt.Errorf("%w: class %d has no utility function", ErrInvalid, j)
 		}
-		if _, ok := p.Nodes[c.Node].FlowCost[c.Flow]; !ok {
+		if _, ok := p.Nodes[c.Node].FlowCost[c.Flow]; !ok && c.MaxConsumers > 0 {
+			// A demand-less class may sit off its flow's tree: two-stage
+			// pruning zeroes MaxConsumers instead of dropping classes so the
+			// member set stays Refresh-compatible, and a zero-demand class
+			// admits nothing wherever it is.
 			return fmt.Errorf("%w: class %d attached at node %d but flow %d does not reach it",
 				ErrInvalid, j, c.Node, c.Flow)
 		}

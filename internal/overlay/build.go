@@ -38,82 +38,59 @@ type ClassSpec struct {
 	Utility utility.Function
 }
 
+// checkFlowSpecs validates the spec invariants shared by Build and
+// NewRouter.
+func checkFlowSpecs(flows []FlowSpec) error {
+	if len(flows) == 0 {
+		return fmt.Errorf("%w: no flows", ErrBadBuild)
+	}
+	for fi, fs := range flows {
+		if fs.NodeCost <= 0 || fs.LinkCost <= 0 {
+			return fmt.Errorf("%w: flow %d costs L=%g F=%g", ErrBadBuild, fi, fs.LinkCost, fs.NodeCost)
+		}
+	}
+	return nil
+}
+
+// routeTrees routes every flow over t (one multi-target BFS per flow,
+// shared scratch) and returns the dissemination trees.
+func routeTrees(t *Topology, sc *Scratch, flows []FlowSpec) ([]Tree, error) {
+	trees := make([]Tree, len(flows))
+	var subs []model.NodeID
+	for fi, fs := range flows {
+		subs = subs[:0]
+		for _, cs := range fs.Classes {
+			subs = append(subs, cs.Node)
+		}
+		tree, _, err := t.BuildTreeInto(sc, fs.Source, subs, Tree{Source: -1})
+		if err != nil {
+			return nil, fmt.Errorf("flow %d (%s): %w", fi, fs.Name, err)
+		}
+		trees[fi] = tree
+	}
+	return trees, nil
+}
+
 // Build routes every flow over the topology and assembles the
 // optimization problem: flows reach exactly their dissemination-tree nodes
 // (source, relays and subscribers all pay the flow-node cost), links carry
 // exactly the flows whose trees include them, and node capacities are as
-// given (one capacity for all nodes).
+// given (one capacity for all nodes). Links no flow uses are pruned and
+// link IDs renumbered; for a problem whose shape survives re-routing use
+// NewRouter instead, which keeps every link.
 func Build(t *Topology, nodeCapacity float64, flows []FlowSpec) (*model.Problem, error) {
 	if nodeCapacity <= 0 {
 		return nil, fmt.Errorf("%w: node capacity %g", ErrBadBuild, nodeCapacity)
 	}
-	if len(flows) == 0 {
-		return nil, fmt.Errorf("%w: no flows", ErrBadBuild)
+	if err := checkFlowSpecs(flows); err != nil {
+		return nil, err
+	}
+	trees, err := routeTrees(t, NewScratch(t), flows)
+	if err != nil {
+		return nil, err
 	}
 
-	p := &model.Problem{
-		Name:  fmt.Sprintf("overlay-%df-%dn", len(flows), t.NodeCount()),
-		Nodes: make([]model.Node, t.NodeCount()),
-	}
-	for b := range p.Nodes {
-		p.Nodes[b] = model.Node{
-			ID:       model.NodeID(b),
-			Name:     fmt.Sprintf("S%d", b),
-			Capacity: nodeCapacity,
-			FlowCost: make(map[model.FlowID]float64),
-		}
-	}
-	topoLinks := t.Links()
-	for li, tl := range topoLinks {
-		p.Links = append(p.Links, model.Link{
-			ID:       model.LinkID(li),
-			Name:     fmt.Sprintf("l%d-%d", tl.From, tl.To),
-			From:     tl.From,
-			To:       tl.To,
-			Capacity: tl.Capacity,
-			FlowCost: make(map[model.FlowID]float64),
-		})
-	}
-
-	for fi, fs := range flows {
-		fid := model.FlowID(fi)
-		if fs.NodeCost <= 0 || fs.LinkCost <= 0 {
-			return nil, fmt.Errorf("%w: flow %d costs L=%g F=%g", ErrBadBuild, fi, fs.LinkCost, fs.NodeCost)
-		}
-		subscribers := make([]model.NodeID, 0, len(fs.Classes))
-		for _, cs := range fs.Classes {
-			subscribers = append(subscribers, cs.Node)
-		}
-		tree, err := t.BuildTree(fs.Source, subscribers)
-		if err != nil {
-			return nil, fmt.Errorf("flow %d (%s): %w", fi, fs.Name, err)
-		}
-
-		p.Flows = append(p.Flows, model.Flow{
-			ID:      fid,
-			Name:    fs.Name,
-			Source:  fs.Source,
-			RateMin: fs.RateMin,
-			RateMax: fs.RateMax,
-		})
-		for _, b := range tree.Nodes {
-			p.Nodes[b].FlowCost[fid] = fs.NodeCost
-		}
-		for _, li := range tree.Links {
-			p.Links[li].FlowCost[fid] = fs.LinkCost
-		}
-		for _, cs := range fs.Classes {
-			p.Classes = append(p.Classes, model.Class{
-				ID:              model.ClassID(len(p.Classes)),
-				Name:            cs.Name,
-				Flow:            fid,
-				Node:            cs.Node,
-				MaxConsumers:    cs.MaxConsumers,
-				CostPerConsumer: cs.CostPerConsumer,
-				Utility:         cs.Utility,
-			})
-		}
-	}
+	p := assembleProblem(t, uniformCaps(t.NodeCount(), nodeCapacity), flows, trees)
 
 	// Drop links no flow uses: the model requires positive per-flow costs
 	// only for flows present, but unused links would still carry
@@ -133,4 +110,68 @@ func Build(t *Topology, nodeCapacity float64, flows []FlowSpec) (*model.Problem,
 		return nil, fmt.Errorf("overlay: built problem invalid: %w", err)
 	}
 	return p, nil
+}
+
+func uniformCaps(n int, c float64) []float64 {
+	caps := make([]float64, n)
+	for b := range caps {
+		caps[b] = c
+	}
+	return caps
+}
+
+// assembleProblem emits the model.Problem for the given routing: every
+// topology node and link gets a slot (link IDs match topology indices),
+// and each flow's tree writes its L/F coefficients.
+func assembleProblem(t *Topology, nodeCaps []float64, flows []FlowSpec, trees []Tree) *model.Problem {
+	p := &model.Problem{
+		Name:  fmt.Sprintf("overlay-%df-%dn", len(flows), t.NodeCount()),
+		Nodes: make([]model.Node, t.NodeCount()),
+	}
+	for b := range p.Nodes {
+		p.Nodes[b] = model.Node{
+			ID:       model.NodeID(b),
+			Name:     fmt.Sprintf("S%d", b),
+			Capacity: nodeCaps[b],
+			FlowCost: make(map[model.FlowID]float64),
+		}
+	}
+	for li, tl := range t.links {
+		p.Links = append(p.Links, model.Link{
+			ID:       model.LinkID(li),
+			Name:     fmt.Sprintf("l%d-%d", tl.From, tl.To),
+			From:     tl.From,
+			To:       tl.To,
+			Capacity: tl.Capacity,
+			FlowCost: make(map[model.FlowID]float64),
+		})
+	}
+	for fi, fs := range flows {
+		fid := model.FlowID(fi)
+		p.Flows = append(p.Flows, model.Flow{
+			ID:      fid,
+			Name:    fs.Name,
+			Source:  fs.Source,
+			RateMin: fs.RateMin,
+			RateMax: fs.RateMax,
+		})
+		for _, b := range trees[fi].Nodes {
+			p.Nodes[b].FlowCost[fid] = fs.NodeCost
+		}
+		for _, li := range trees[fi].Links {
+			p.Links[li].FlowCost[fid] = fs.LinkCost
+		}
+		for _, cs := range fs.Classes {
+			p.Classes = append(p.Classes, model.Class{
+				ID:              model.ClassID(len(p.Classes)),
+				Name:            cs.Name,
+				Flow:            fid,
+				Node:            cs.Node,
+				MaxConsumers:    cs.MaxConsumers,
+				CostPerConsumer: cs.CostPerConsumer,
+				Utility:         cs.Utility,
+			})
+		}
+	}
+	return p
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package overlay
+
+const raceEnabled = false

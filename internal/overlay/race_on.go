@@ -1,0 +1,8 @@
+//go:build race
+
+package overlay
+
+// raceEnabled reports whether the race detector is instrumenting this
+// build; perf gates consult it because instrumented wall clock measures
+// the detector, not the code.
+const raceEnabled = true

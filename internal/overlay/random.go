@@ -68,3 +68,70 @@ func RandomTopology(rng *rand.Rand, n int, alpha, beta, capacity float64) *Topol
 	}
 	return t
 }
+
+// RandomTopologyHetero generates a connected random overlay sized for
+// large-scale experiments: a random spanning tree guarantees connectivity
+// and each node samples extraPerNode additional neighbors uniformly, so
+// construction is O(n * extraPerNode) — unlike RandomTopology's O(n²)
+// Waxman pair scan, this stays fast at 10k+ nodes. Link capacities are
+// heterogeneous, drawn log-uniformly from [capMin, capMax] per
+// bidirectional pair (both directions share one capacity), modeling the
+// capacity-diverse substrates of the MON / node+link-constrained papers.
+// Deterministic for a given rand source.
+func RandomTopologyHetero(rng *rand.Rand, n, extraPerNode int, capMin, capMax float64) *Topology {
+	if n < 1 {
+		n = 1
+	}
+	if extraPerNode < 0 {
+		extraPerNode = 0
+	}
+	if capMin <= 0 {
+		capMin = 1e3
+	}
+	if capMax < capMin {
+		capMax = capMin
+	}
+
+	t := NewTopology(n)
+	logMin, logMax := math.Log(capMin), math.Log(capMax)
+	drawCap := func() float64 {
+		return math.Exp(logMin + rng.Float64()*(logMax-logMin))
+	}
+
+	// Random spanning tree, as in RandomTopology.
+	order := rng.Perm(n)
+	for k := 1; k < n; k++ {
+		a := order[k]
+		b := order[rng.Intn(k)]
+		_, _, _ = t.AddBidirectional(model.NodeID(a), model.NodeID(b), drawCap())
+	}
+
+	// Per-node sampled extras; duplicates are skipped, not retried, so the
+	// expected degree is slightly under 2*(1+extraPerNode).
+	connected := make(map[[2]int]bool, n*(1+extraPerNode))
+	for _, l := range t.Links() {
+		a, b := int(l.From), int(l.To)
+		if a > b {
+			a, b = b, a
+		}
+		connected[[2]int{a, b}] = true
+	}
+	for a := 0; a < n; a++ {
+		for k := 0; k < extraPerNode; k++ {
+			b := rng.Intn(n)
+			if b == a {
+				continue
+			}
+			lo, hi := a, b
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			if connected[[2]int{lo, hi}] {
+				continue
+			}
+			connected[[2]int{lo, hi}] = true
+			_, _, _ = t.AddBidirectional(model.NodeID(a), model.NodeID(b), drawCap())
+		}
+	}
+	return t
+}
